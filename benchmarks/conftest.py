@@ -1,0 +1,47 @@
+"""Shared configuration for the figure/table reproduction benchmarks.
+
+Each benchmark module regenerates one paper table or figure: it runs the
+experiment harness, prints the same rows/series the paper reports, and
+asserts the qualitative *shape* (who wins, direction of trends, rough
+factors).  Absolute numbers differ — the substrate is a simulator, not
+the authors' 600-node testbed.
+
+Scales: by default, geometry-faithful reduced configurations (minutes,
+not hours).  Set ``REPRO_SCALE=paper`` to run the full Table I
+configurations (512–4096 ranks, 30k–53k timesteps).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.amr import SedovWorkload, scaled_config, table_i_config
+
+PAPER_SCALE = os.environ.get("REPRO_SCALE", "").lower() == "paper"
+
+#: scales used by the Sedov benchmarks
+SEDOV_SCALES = (512, 1024, 2048, 4096) if PAPER_SCALE else (512, 1024)
+#: scales used by commbench
+COMMBENCH_SCALES = (512, 1024, 2048, 4096) if PAPER_SCALE else (128, 512)
+#: scales used by scalebench (paper: up to 128K)
+SCALEBENCH_SCALES = (512, 2048, 16384, 131072) if PAPER_SCALE else (512, 2048, 8192)
+#: timestep budget for reduced Sedov runs
+SEDOV_STEPS = None if PAPER_SCALE else 1500
+
+
+def sedov_config(n_ranks: int):
+    if PAPER_SCALE:
+        return table_i_config(n_ranks)
+    return scaled_config(n_ranks, scale=8, steps=SEDOV_STEPS)
+
+
+_TRAJECTORIES = {}
+
+
+def shared_trajectory(n_ranks: int):
+    """Policy-independent Sedov trajectory, cached per scale."""
+    if n_ranks not in _TRAJECTORIES:
+        _TRAJECTORIES[n_ranks] = SedovWorkload(sedov_config(n_ranks)).full_trajectory()
+    return _TRAJECTORIES[n_ranks]

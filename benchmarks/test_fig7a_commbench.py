@@ -1,0 +1,42 @@
+"""Fig. 7a — commbench: boundary round latency vs placement locality.
+
+Locality modestly affects round latency; at small scale high locality
+(low X) is no worse, while at larger scales strict locality can become
+counterproductive as it concentrates face-neighbor traffic on a few
+ranks (the paper's surprising U-shape).  Differences are sub-millisecond
+on a multi-millisecond base, as in the paper (~±0.5 ms).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import CommbenchConfig, run_commbench
+
+from conftest import COMMBENCH_SCALES, PAPER_SCALE
+
+
+@pytest.mark.parametrize("n_ranks", COMMBENCH_SCALES)
+def test_fig7a_round_latency_vs_locality(benchmark, n_ranks):
+    cfg = CommbenchConfig(
+        n_ranks=n_ranks,
+        n_meshes=10 if PAPER_SCALE else 4,
+        n_rounds=100 if PAPER_SCALE else 30,
+    )
+    result = benchmark.pedantic(
+        lambda: run_commbench(cfg), rounds=1, iterations=1
+    )
+    print(f"\nFig 7a @ {n_ranks} ranks: {result.series()}")
+    print(f"  best X = {result.best_x():g}, "
+          f"discarded {result.discarded_rounds} rounds > 10 ms")
+
+    lat = result.mean_latency_s
+    # Latencies are in the right regime (sub-cutoff milliseconds).
+    assert (lat > 0.2e-3).all()
+    assert (lat < cfg.outlier_cutoff_s).all()
+    # Locality effects are modest (paper: ±0.5 ms on a few-ms base).
+    assert lat.max() - lat.min() < 0.5 * lat.mean()
+    # CPL0 (max locality) is never the *worst* at small scale, and the
+    # extremes never beat the best by much anywhere.
+    best = lat.min()
+    assert lat[0] < best * 1.4
+    assert lat[-1] < best * 1.4

@@ -1,0 +1,85 @@
+"""Fig. 7b/7c — scalebench: makespan quality and placement overhead.
+
+(b) normalized makespan under exponential / Gaussian / power-law block
+    costs: LPT (CPL100) lowest; the bulk of the benefit is captured by
+    X = 25 with far higher locality retention;
+(c) placement computation time vs scale: tractable at AMR scales and
+    mitigated by chunking at the largest ones (the paper's ~10 ms at
+    16K ranks is C++; our Python shape is the same with a constant
+    factor).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ScalebenchConfig,
+    makespan_table,
+    overhead_table,
+    run_scalebench,
+)
+from repro.core import PAPER_BUDGET_S, get_policy, measure_policy
+from repro.bench import make_costs
+
+from conftest import PAPER_SCALE, SCALEBENCH_SCALES
+
+
+@pytest.fixture(scope="module")
+def rows():
+    cfg = ScalebenchConfig(
+        scales=tuple(SCALEBENCH_SCALES),
+        repeats=3 if not PAPER_SCALE else 5,
+    )
+    return run_scalebench(cfg)
+
+
+def test_fig7b_normalized_makespan(benchmark, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print("\n" + makespan_table(rows))
+    for n_ranks in sorted({r.n_ranks for r in rows}):
+        for dist in ("exponential", "gaussian", "power-law"):
+            by_x = {
+                r.x: r.norm_makespan
+                for r in rows
+                if r.n_ranks == n_ranks and r.distribution == dist
+            }
+            # LPT achieves the lowest makespan (within numeric noise).
+            assert by_x[100.0] <= min(by_x.values()) * 1.02
+            # X=25 captures the bulk of the gain.
+            gain = by_x[0.0] - by_x[100.0]
+            if gain > 1e-6:
+                assert by_x[0.0] - by_x[25.0] >= 0.5 * gain
+
+
+def test_fig7c_placement_overhead(benchmark, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    print("\n" + overhead_table(rows))
+    scales = sorted({r.n_ranks for r in rows})
+    mean_by_scale = [
+        np.mean([r.placement_s for r in rows if r.n_ranks == s]) for s in scales
+    ]
+    print("  mean placement time by scale: "
+          + "  ".join(f"{s}={t * 1e3:.2f}ms" for s, t in zip(scales, mean_by_scale)))
+    # Overhead grows with scale but stays tractable at AMR scales.
+    assert mean_by_scale[-1] > mean_by_scale[0]
+    assert mean_by_scale[0] < PAPER_BUDGET_S
+
+
+def test_fig7c_chunking_mitigates_large_scale(benchmark):
+    """The paper's zonal/chunked mitigation: at large rank counts the
+    chunk-parallel CDP is far cheaper than the global DP."""
+    n_ranks = 16384 if PAPER_SCALE else 8192
+    costs = make_costs("exponential", int(n_ranks * 2.25), seed=0)
+
+    def run():
+        chunked = measure_policy(
+            get_policy("cdp-chunked", ranks_per_chunk=512), costs, n_ranks, repeats=2
+        )
+        global_dp = measure_policy(get_policy("cdp"), costs, n_ranks, repeats=2)
+        return chunked, global_dp
+
+    chunked, global_dp = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nFig 7c (mitigation) @ {n_ranks} ranks:")
+    print(f"  global CDP : {global_dp.mean_s * 1e3:9.2f} ms")
+    print(f"  chunked CDP: {chunked.mean_s * 1e3:9.2f} ms")
+    assert chunked.mean_s < global_dp.mean_s

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Critical-path analysis and task reordering (paper §IV-B/§IV-D, Fig. 4).
+
+Demonstrates the paper's critical-path model on executed exchange
+windows:
+
+1. the *two-rank principle* — with one P2P round between syncs, the
+   critical path implicates at most two ranks, at any scale;
+2. the send-priority reordering fix — dispatching boundary data early
+   shortens two-rank paths without hurting anything else;
+3. a discrete-event cross-check: the same window executed on the
+   simulated-MPI engine (happened-before semantics) agrees with the
+   analytical schedule model.
+
+Run:  python examples/critical_path_demo.py
+"""
+
+import numpy as np
+
+from repro.amr import TaskKind, build_exchange_graph, rank_schedule
+from repro.critical_path import (
+    compare_orderings,
+    execute_schedules,
+    extract_critical_path,
+    verify_two_rank_principle,
+)
+from repro.simnet import Cluster, Engine, FabricSpec, SimMPI
+
+
+def fig4_example() -> None:
+    """The Fig. 4 two-block schedule: prioritizing Send_0 helps its waiter."""
+    # Rank 0 owns blocks 0 (cheap) and 1 (expensive); rank 1 waits on block 0.
+    block_rank = np.array([0, 0, 1])
+    costs = np.array([0.2, 1.0, 0.1])
+    edges = np.array([[0, 2]])  # block 0 <-> block 2 (cross-rank)
+    cmp = compare_orderings(block_rank, costs, edges, latency=0.05)
+    print("Fig. 4 example:", cmp.summary())
+    # Untuned: Send_0 dispatches after block 1's kernel (t=1.2);
+    # tuned: right after block 0's kernel (t=0.2) -> rank 1 unblocked ~1s earlier.
+
+
+def two_rank_principle_at_scale(n_ranks: int = 64, n_blocks: int = 128) -> None:
+    rng = np.random.default_rng(7)
+    block_rank = rng.integers(0, n_ranks, size=n_blocks)
+    costs = rng.exponential(1.0, size=n_blocks)
+    edges = rng.integers(0, n_blocks, size=(n_blocks * 3, 2))
+    edges = np.unique(np.sort(edges[edges[:, 0] != edges[:, 1]], axis=1), axis=0)
+    graph = build_exchange_graph(block_rank, costs, edges)
+    ranks = sorted({t.rank for t in graph.tasks})
+    schedules = {r: rank_schedule(graph, r, send_priority=True) for r in ranks}
+    execution = execute_schedules(graph, schedules, latency=0.01)
+    path = extract_critical_path(execution)
+    print(f"\n{n_ranks}-rank window: critical path has {len(path.tasks)} tasks, "
+          f"implicates ranks {path.implicated_ranks} "
+          f"({path.crossings} cross-rank hops)")
+    print(f"two-rank principle holds: {verify_two_rank_principle(execution)}")
+    print(f"MPI_Wait on the path: {path.wait_on_path_s:.3f}s of "
+          f"{path.length_s:.3f}s window")
+
+
+def reordering_statistics(trials: int = 200) -> None:
+    rng = np.random.default_rng(1)
+    reductions = []
+    for _ in range(trials):
+        nb = int(rng.integers(6, 24))
+        nr = int(rng.integers(2, 8))
+        block_rank = rng.integers(0, nr, size=nb)
+        costs = rng.exponential(1.0, size=nb)
+        e = rng.integers(0, nb, size=(nb * 2, 2))
+        e = np.unique(np.sort(e[e[:, 0] != e[:, 1]], axis=1), axis=0)
+        if not len(e):
+            continue
+        cmp = compare_orderings(block_rank, costs, e, latency=0.02)
+        reductions.append(cmp.makespan_reduction)
+    arr = np.asarray(reductions)
+    print(f"\nsend-priority reordering over {len(arr)} random windows:")
+    print(f"  makespan reduction: mean {arr.mean():.1%}, max {arr.max():.1%}, "
+          f"never negative: {bool((arr >= -1e-12).all())}")
+
+
+def des_cross_check() -> None:
+    """Run the Fig. 4 window on the discrete-event simulated MPI.
+
+    The DES executes real isend/irecv/wait/allreduce semantics; with a
+    near-zero-latency fabric its window makespan matches the analytical
+    schedule model's prediction for the same tuned schedule.
+    """
+    block_rank = np.array([0, 0, 1])
+    costs = np.array([0.2, 1.0, 0.1])
+    edges = np.array([[0, 2]])
+    graph = build_exchange_graph(block_rank, costs, edges)
+    schedules = {r: rank_schedule(graph, r, send_priority=True) for r in (0, 1)}
+    analytical = execute_schedules(graph, schedules, latency=0.0)
+
+    engine = Engine()
+    cluster = Cluster(n_ranks=2)
+    fabric = FabricSpec(
+        local_latency_s=1e-12, remote_latency_s=1e-12,
+        local_bandwidth=1e18, remote_bandwidth=1e18,
+        local_service_s=1e-12, remote_service_s=1e-12,
+        collective_base_s=1e-12, collective_per_level_s=1e-12,
+    )
+    mpi = SimMPI(engine, cluster, fabric=fabric)
+
+    def program(rank: int):
+        reqs = []
+        for task in schedules[rank]:
+            if task.kind is TaskKind.COMPUTE:
+                yield from mpi.compute(rank, task.duration)
+            elif task.kind is TaskKind.SEND:
+                mpi.isend(rank, task.peer_rank, task.tag)
+            elif task.kind is TaskKind.RECV:
+                reqs.append(mpi.irecv(rank, task.peer_rank, task.tag))
+        yield from mpi.waitall(rank, reqs)
+        yield from mpi.allreduce(rank)
+
+    for r in (0, 1):
+        engine.spawn(program(r), name=f"rank{r}")
+    end = engine.run()
+    print(f"\nDES cross-check: analytical window {analytical.sync_time:.3f}s, "
+          f"discrete-event {end:.3f}s (agreement within fabric epsilon)")
+
+
+def main() -> None:
+    fig4_example()
+    two_rank_principle_at_scale()
+    reordering_statistics()
+    des_cross_check()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Sedov Blast Wave policy sweep — the paper's headline experiment (Fig. 6).
+
+Runs baseline + CPLX {0, 25, 50, 75, 100} over shared Sedov
+trajectories at two scales and prints the paper's three figure views:
+phase-decomposed runtime (6a), the comm↔sync tradeoff (6b), and message
+locality (6c), plus the Table I statistics of the generated runs.
+
+Run:  python examples/sedov_sweep.py            (reduced scale, ~1 min)
+      REPRO_SCALE=paper python examples/sedov_sweep.py   (full Table I)
+"""
+
+from repro.bench import SedovSweepConfig, paper_scale_requested, run_sedov_sweep
+
+
+def main() -> None:
+    config = SedovSweepConfig(
+        scales=(512, 1024),
+        paper_scale=paper_scale_requested(),
+    )
+    result = run_sedov_sweep(config)
+
+    print(result.table_i_text())
+    print()
+    print(result.fig6a_table())
+    print()
+    print(result.fig6b_table())
+    print()
+    print(result.fig6c_table())
+
+    print("\nHeadline numbers:")
+    for scale in result.scales():
+        best = result.best_label(scale)
+        print(
+            f"  {scale} ranks: best policy {best}, "
+            f"{result.reduction_vs_baseline(scale, best):.1%} runtime reduction "
+            f"(paper: CPL50 best overall, up to 21.6% at 4096 ranks)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of "Lessons from Profiling and Optimizing
+Placement in AMR Codes" (CLUSTER 2025).
+
+Subpackages
+-----------
+``repro.core``
+    Placement policies: baseline, LPT, CDP (+ chunked), CPLX, exact
+    reference solver, and load/locality metrics — the paper's primary
+    contribution (§V).
+``repro.mesh``
+    Octree/SFC AMR mesh substrate: forest of octrees, Morton block IDs,
+    cross-level neighbor discovery, 2:1-balanced refinement (§II, §V-A).
+``repro.amr``
+    AMR execution substrate: Sedov and cooling workloads, cost tracking,
+    task DAGs, redistribution pipeline, BSP driver (§II-B, §VI).
+``repro.simnet``
+    Simulated cluster: machines/fabric, topology, discrete-event MPI,
+    fault injection, stack tuning, vectorized BSP phase model (§IV).
+``repro.telemetry``
+    Structured telemetry: collectors, binary columnar storage, query
+    engine (fluent + SQL), diagnosis analytics, anomaly detectors
+    (§IV-C, Lesson 4).
+``repro.critical_path``
+    Critical-path model: schedule execution, path extraction, the
+    two-rank principle, reordering studies (§IV-D).
+``repro.bench``
+    Experiment harness regenerating every paper table and figure (§VI).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.core import get_policy, load_stats
+>>> costs = np.random.default_rng(0).exponential(1.0, size=1024)
+>>> placement = get_policy("cplx:50").place(costs, n_ranks=512)
+>>> load_stats(costs, placement.assignment, 512).imbalance  # doctest: +SKIP
+1.08
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

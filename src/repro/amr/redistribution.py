@@ -1,0 +1,107 @@
+"""The redistribution pipeline (paper §V-A2).
+
+When refinement changes the mesh, redistribution runs three steps:
+
+1. blocks are (re)assigned sequential block IDs via the Z-order SFC;
+2. the placement policy computes new block→rank mappings from per-block
+   costs (telemetry-driven under our policies, all-ones under the
+   framework default);
+3. blocks migrate to their new ranks over P2P.
+
+This module implements the pipeline and the cost model of step 3 —
+migration volume, and the wall-clock charge for placement + migration
+that shows up as the ``lb`` phase (~3% in Fig. 6a).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.policy import PlacementPolicy, PlacementResult
+from ..mesh.geometry import BlockIndex
+from ..simnet.machine import FabricSpec
+
+__all__ = ["RedistributionOutcome", "redistribute", "carry_assignment"]
+
+#: Bytes per block payload: 16^3 cells x ~10 variables x 8 bytes.
+BLOCK_BYTES_DEFAULT = 16**3 * 10 * 8
+
+
+@dataclasses.dataclass(frozen=True)
+class RedistributionOutcome:
+    """Everything the driver needs from one redistribution."""
+
+    result: PlacementResult
+    migrated_blocks: int
+    migration_s: float        #: simulated wall time of block migration
+    placement_s: float        #: measured placement computation time
+
+    @property
+    def lb_s(self) -> float:
+        """Total redistribution charge added to the step (bulk-synchronous)."""
+        return self.migration_s + self.placement_s
+
+
+def carry_assignment(
+    old_blocks: List[BlockIndex],
+    old_assignment: np.ndarray,
+    new_blocks: List[BlockIndex],
+) -> np.ndarray:
+    """Project an assignment across a remesh for migration accounting.
+
+    A surviving block keeps its owner; a refined child starts on its
+    parent's rank; a coarsened parent starts on its first child's rank
+    (Parthenon keeps data where it was until redistribution moves it).
+    Blocks with no identifiable predecessor get rank -1 (freshly created;
+    their move is not charged as migration).
+    """
+    owner: Dict[BlockIndex, int] = {
+        b: int(r) for b, r in zip(old_blocks, old_assignment)
+    }
+    out = np.full(len(new_blocks), -1, dtype=np.int64)
+    for i, b in enumerate(new_blocks):
+        r = owner.get(b)
+        if r is None and b.level > 0:
+            r = owner.get(b.parent())          # b is a refined child
+        if r is None:
+            r = owner.get(b.children()[0]) if b.level >= 0 else None  # merged parent
+        if r is not None:
+            out[i] = r
+    return out
+
+
+def redistribute(
+    policy: PlacementPolicy,
+    costs: np.ndarray,
+    n_ranks: int,
+    prev_assignment: Optional[np.ndarray],
+    fabric: FabricSpec,
+    block_bytes: float = BLOCK_BYTES_DEFAULT,
+) -> RedistributionOutcome:
+    """Run the placement policy and account for migration.
+
+    ``prev_assignment`` is the carried-over owner per (new) block ID, or
+    ``None`` at startup.  Migration time models the bulk P2P transfer:
+    every migrating block crosses the fabric once; per-rank transfers
+    overlap, so the charge is the max over ranks of bytes in+out at the
+    remote bandwidth (in cells/s, block payloads converted accordingly).
+    """
+    result = policy.place(costs, n_ranks)
+    if prev_assignment is None:
+        return RedistributionOutcome(result, 0, 0.0, result.elapsed_s)
+    prev = np.asarray(prev_assignment, dtype=np.int64)
+    if prev.shape != result.assignment.shape:
+        raise ValueError("prev_assignment must cover the new block set (carry first)")
+    moving = (prev != result.assignment) & (prev >= 0)
+    migrated = int(moving.sum())
+    if migrated == 0:
+        return RedistributionOutcome(result, 0, 0.0, result.elapsed_s)
+    out_bytes = np.bincount(prev[moving], minlength=n_ranks) * block_bytes
+    in_bytes = np.bincount(result.assignment[moving], minlength=n_ranks) * block_bytes
+    per_rank = np.maximum(out_bytes, in_bytes)
+    # Convert payload bytes to the fabric's cell-based bandwidth (8 B/cell).
+    migration_s = float(per_rank.max()) / 8.0 / fabric.remote_bandwidth
+    return RedistributionOutcome(result, migrated, migration_s, result.elapsed_s)

@@ -1,0 +1,111 @@
+"""Redistribution triggers: deciding *when* to rebalance.
+
+The paper's codes invoke placement whenever the mesh changes; related
+work (Meta-Balancer, §VIII) argues the *trigger* itself should be
+adaptive — rebalancing costs migration + placement time and only pays
+off if the imbalance it removes exceeds that cost over the epoch.
+
+:class:`ImbalanceTrigger` implements the standard cost/benefit rule:
+
+    rebalance iff  (measured imbalance loss per step) x (expected steps
+    until the next natural trigger)  >  (redistribution cost)
+
+with hysteresis so borderline imbalance doesn't thrash.  The driver can
+consult it on cost-drift epochs (mesh-change epochs always redistribute
+— block ownership must be reassigned anyway).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["TriggerDecision", "ImbalanceTrigger"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TriggerDecision:
+    """Outcome of a trigger evaluation (with its reasoning)."""
+
+    rebalance: bool
+    imbalance_loss_s: float     #: per-step straggler loss at current placement
+    expected_benefit_s: float   #: loss x horizon
+    estimated_cost_s: float     #: placement + migration estimate
+
+    def __str__(self) -> str:
+        verdict = "REBALANCE" if self.rebalance else "KEEP"
+        return (
+            f"{verdict}: loss/step={self.imbalance_loss_s * 1e3:.2f}ms, "
+            f"benefit={self.expected_benefit_s:.3f}s vs "
+            f"cost={self.estimated_cost_s:.3f}s"
+        )
+
+
+class ImbalanceTrigger:
+    """Cost/benefit redistribution trigger with hysteresis.
+
+    Parameters
+    ----------
+    step_seconds_per_cost:
+        Conversion from block-cost units to seconds per step (the
+        machine's ``block_compute_s``).
+    redistribution_cost_s:
+        Estimated cost of one redistribution (placement + migration +
+        mesh rebuild; the paper's budget reasoning uses ~50-200 ms).
+    horizon_steps:
+        Steps the new placement is expected to survive (the refinement
+        cadence; Table I suggests 5-25).
+    hysteresis:
+        Benefit must exceed cost by this factor to fire (> 1 damps
+        thrashing near the break-even point).
+    """
+
+    def __init__(
+        self,
+        step_seconds_per_cost: float = 0.1,
+        redistribution_cost_s: float = 0.13,
+        horizon_steps: int = 25,
+        hysteresis: float = 1.5,
+    ) -> None:
+        if step_seconds_per_cost <= 0 or redistribution_cost_s < 0:
+            raise ValueError("invalid trigger cost parameters")
+        if horizon_steps < 1:
+            raise ValueError("horizon_steps must be >= 1")
+        if hysteresis < 1.0:
+            raise ValueError("hysteresis must be >= 1")
+        self.step_seconds_per_cost = step_seconds_per_cost
+        self.redistribution_cost_s = redistribution_cost_s
+        self.horizon_steps = horizon_steps
+        self.hysteresis = hysteresis
+
+    def evaluate(
+        self,
+        costs: np.ndarray,
+        current_assignment: np.ndarray,
+        n_ranks: int,
+        achievable_makespan: float | None = None,
+    ) -> TriggerDecision:
+        """Decide whether rebalancing pays off for the coming epoch.
+
+        ``achievable_makespan`` defaults to the area bound ``total/r``
+        (what a perfect balancer could reach); pass a policy's actual
+        makespan for a sharper estimate.
+        """
+        costs = np.asarray(costs, dtype=np.float64)
+        loads = np.bincount(current_assignment, weights=costs, minlength=n_ranks)
+        current_makespan = float(loads.max()) if loads.size else 0.0
+        ideal = (
+            achievable_makespan
+            if achievable_makespan is not None
+            else float(costs.sum()) / n_ranks
+        )
+        loss_per_step = max(0.0, current_makespan - ideal) * self.step_seconds_per_cost
+        benefit = loss_per_step * self.horizon_steps
+        fire = benefit > self.redistribution_cost_s * self.hysteresis
+        return TriggerDecision(
+            rebalance=bool(fire),
+            imbalance_loss_s=loss_per_step,
+            expected_benefit_s=benefit,
+            estimated_cost_s=self.redistribution_cost_s,
+        )

@@ -1,0 +1,61 @@
+"""Experiment harness: one driver per paper table/figure.
+
+* Fig. 1/2/3 — :mod:`repro.bench.tuning_study`
+* Fig. 6 / Table I — :mod:`repro.bench.sedov_experiment`
+* Fig. 7a — :mod:`repro.bench.commbench`
+* Fig. 7b/7c — :mod:`repro.bench.scalebench`
+"""
+
+from .commbench import CommbenchConfig, CommbenchResult, random_refined_mesh, run_commbench
+from .distributions import COST_DISTRIBUTIONS, make_costs
+from .reporting import cplx_label, format_series, format_table
+from .scalebench import (
+    ScalebenchConfig,
+    ScalebenchRow,
+    makespan_table,
+    overhead_table,
+    run_scalebench,
+)
+from .sedov_experiment import (
+    DEFAULT_POLICIES,
+    PolicyOutcome,
+    SedovSweepConfig,
+    SedovSweepResult,
+    paper_scale_requested,
+    run_sedov_sweep,
+)
+from .tuning_study import (
+    StudyEnvironment,
+    correlation_study,
+    reordering_study,
+    spike_study,
+    throttling_study,
+)
+
+__all__ = [
+    "COST_DISTRIBUTIONS",
+    "CommbenchConfig",
+    "CommbenchResult",
+    "DEFAULT_POLICIES",
+    "PolicyOutcome",
+    "ScalebenchConfig",
+    "ScalebenchRow",
+    "SedovSweepConfig",
+    "SedovSweepResult",
+    "StudyEnvironment",
+    "correlation_study",
+    "cplx_label",
+    "format_series",
+    "format_table",
+    "make_costs",
+    "makespan_table",
+    "overhead_table",
+    "paper_scale_requested",
+    "random_refined_mesh",
+    "reordering_study",
+    "run_commbench",
+    "run_scalebench",
+    "run_sedov_sweep",
+    "spike_study",
+    "throttling_study",
+]

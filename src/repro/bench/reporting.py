@@ -1,0 +1,44 @@
+"""Plain-text reporting helpers shared by benches and examples.
+
+Every bench prints the same rows/series the paper's tables and figures
+report; these helpers keep that output consistent and diff-friendly
+(EXPERIMENTS.md embeds them verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "cplx_label"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table with right-aligned numeric-ish cells."""
+    srows: List[List[str]] = [
+        [f"{c:.4g}" if isinstance(c, float) else str(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(h), *(len(r[i]) for r in srows)) if srows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in srows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[float]) -> str:
+    """One figure series as ``name: x=y`` pairs (a text stand-in for a plot)."""
+    pairs = "  ".join(f"{x}={y:.4g}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def cplx_label(x: float) -> str:
+    """Paper-style policy label for a CPLX setting (CPL0 ... CPL100)."""
+    return f"CPL{int(x) if float(x) == int(x) else x}"

@@ -1,0 +1,130 @@
+"""scalebench: placement quality and overhead vs scale (Fig. 7b/7c).
+
+Evaluates policies at 512 – 128K ranks with ~2 blocks per rank (the
+paper uses 1–2; a non-integer 2.25 keeps the restricted CDP's
+floor/ceil choice meaningful) under the three synthetic cost
+distributions.  Reports:
+
+* **normalized makespan** — per-rank max load divided by the ``total/r``
+  area bound (Fig. 7b; lower is better, 1.0 is ideal);
+* **placement computation time** vs scale (Fig. 7c; the 50 ms budget).
+
+No mesh or network is needed — scalebench measures the placement
+algorithms themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.metrics import normalized_makespan
+from ..core.policy import get_policy
+from .distributions import COST_DISTRIBUTIONS, make_costs
+from .reporting import cplx_label, format_table
+
+__all__ = ["ScalebenchConfig", "ScalebenchRow", "run_scalebench"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalebenchConfig:
+    """Parameters of one scalebench sweep."""
+
+    scales: Tuple[int, ...] = (512, 2048, 8192)
+    x_values: Tuple[float, ...] = (0.0, 25.0, 50.0, 75.0, 100.0)
+    distributions: Tuple[str, ...] = ("exponential", "gaussian", "power-law")
+    blocks_per_rank: float = 2.25
+    repeats: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.distributions) - set(COST_DISTRIBUTIONS)
+        if unknown:
+            raise ValueError(f"unknown distributions: {sorted(unknown)}")
+
+
+@dataclasses.dataclass
+class ScalebenchRow:
+    """One (scale, distribution, X) measurement."""
+
+    n_ranks: int
+    distribution: str
+    x: float
+    norm_makespan: float       #: mean over repeats (Fig. 7b)
+    placement_s: float         #: mean placement computation time (Fig. 7c)
+
+    @property
+    def label(self) -> str:
+        return cplx_label(self.x)
+
+
+def run_scalebench(config: ScalebenchConfig) -> List[ScalebenchRow]:
+    """Run the sweep; returns one row per (scale, distribution, X)."""
+    rows: List[ScalebenchRow] = []
+    for n_ranks in config.scales:
+        n_blocks = int(n_ranks * config.blocks_per_rank)
+        for dist in config.distributions:
+            for x in config.x_values:
+                policy = get_policy(f"cplx:{x}")
+                ms = []
+                ts = []
+                for rep in range(config.repeats):
+                    costs = make_costs(
+                        dist, n_blocks, seed=config.seed + 7919 * rep + n_ranks
+                    )
+                    result = policy.place(costs, n_ranks)
+                    ms.append(normalized_makespan(costs, result.assignment, n_ranks))
+                    ts.append(result.elapsed_s)
+                rows.append(
+                    ScalebenchRow(
+                        n_ranks=n_ranks,
+                        distribution=dist,
+                        x=x,
+                        norm_makespan=float(np.mean(ms)),
+                        placement_s=float(np.mean(ts)),
+                    )
+                )
+    return rows
+
+
+def makespan_table(rows: Sequence[ScalebenchRow]) -> str:
+    """Fig. 7b as text: normalized makespan by (distribution, X)."""
+    dists = sorted({r.distribution for r in rows})
+    xs = sorted({r.x for r in rows})
+    out = []
+    for n_ranks in sorted({r.n_ranks for r in rows}):
+        body = []
+        for d in dists:
+            vals = {
+                r.x: r.norm_makespan
+                for r in rows
+                if r.n_ranks == n_ranks and r.distribution == d
+            }
+            body.append([d] + [round(vals[x], 4) for x in xs])
+        out.append(
+            format_table(
+                ["distribution"] + [cplx_label(x) for x in xs],
+                body,
+                title=f"normalized makespan @ {n_ranks} ranks",
+            )
+        )
+    return "\n\n".join(out)
+
+
+def overhead_table(rows: Sequence[ScalebenchRow]) -> str:
+    """Fig. 7c as text: mean placement time (ms) by scale and X."""
+    xs = sorted({r.x for r in rows})
+    body = []
+    for n_ranks in sorted({r.n_ranks for r in rows}):
+        means = []
+        for x in xs:
+            sel = [r.placement_s for r in rows if r.n_ranks == n_ranks and r.x == x]
+            means.append(round(float(np.mean(sel)) * 1e3, 3))
+        body.append([n_ranks] + means)
+    return format_table(
+        ["ranks"] + [cplx_label(x) for x in xs],
+        body,
+        title="placement computation time (ms)",
+    )

@@ -1,0 +1,261 @@
+"""Sedov Blast Wave experiment harness (paper §VI-B: Fig. 6, Table I).
+
+Drives the full evaluation sweep: for each scale, generate the
+policy-independent Sedov trajectory once, run baseline and CPLX
+{0, 25, 50, 75, 100} over it, and emit:
+
+* Fig. 6a — phase-decomposed total runtime per policy per scale;
+* Fig. 6b — P2P communication and synchronization time normalized to
+  baseline (the load–locality tradeoff);
+* Fig. 6c — local vs remote message split, normalized to baseline's
+  total MPI-visible message count;
+* Table I — t_total, t_lb, n_initial, n_final per configuration.
+
+``REPRO_SCALE=paper`` (read by the benchmarks) switches from the
+geometry-faithful reduced configurations to the full Table I runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..amr.driver import DriverConfig, RunSummary, run_trajectory
+from ..amr.sedov import SedovConfig, SedovWorkload, scaled_config, table_i_config
+from ..core.metrics import message_stats
+from ..core.policy import get_policy
+from ..simnet.cluster import Cluster
+from .reporting import cplx_label, format_table
+
+__all__ = [
+    "SedovSweepConfig",
+    "PolicyOutcome",
+    "SedovSweepResult",
+    "run_sedov_sweep",
+    "paper_scale_requested",
+]
+
+#: Sweep policy arms: paper's baseline + CPLX X values.
+DEFAULT_POLICIES: Tuple[str, ...] = (
+    "baseline",
+    "cplx:0",
+    "cplx:25",
+    "cplx:50",
+    "cplx:75",
+    "cplx:100",
+)
+
+
+def paper_scale_requested() -> bool:
+    """Whether the environment asks for full Table I scale runs."""
+    return os.environ.get("REPRO_SCALE", "").lower() == "paper"
+
+
+@dataclasses.dataclass(frozen=True)
+class SedovSweepConfig:
+    """Scope of one Sedov sweep."""
+
+    scales: Tuple[int, ...] = (512, 1024)
+    policies: Tuple[str, ...] = DEFAULT_POLICIES
+    #: reduced-geometry divisor and step budget (ignored at paper scale)
+    geometry_scale: int = 8
+    steps: int = 2_000
+    paper_scale: bool = False
+    driver: DriverConfig = dataclasses.field(default_factory=DriverConfig)
+
+    def sedov_config(self, n_ranks: int) -> SedovConfig:
+        if self.paper_scale:
+            return table_i_config(n_ranks)
+        return scaled_config(n_ranks, scale=self.geometry_scale, steps=self.steps)
+
+
+@dataclasses.dataclass
+class PolicyOutcome:
+    """One policy arm's results at one scale."""
+
+    scale: int
+    policy_label: str
+    summary: RunSummary
+    msg_local: float           #: mean per-epoch local MPI message count
+    msg_remote: float
+    msg_intra: float           #: co-located (memcpy) pair count
+
+    @property
+    def wall_s(self) -> float:
+        return self.summary.wall_s
+
+    @property
+    def remote_fraction(self) -> float:
+        vis = self.msg_local + self.msg_remote
+        return self.msg_remote / vis if vis else 0.0
+
+
+@dataclasses.dataclass
+class SedovSweepResult:
+    """All policy arms across all scales, plus Table I statistics."""
+
+    outcomes: List[PolicyOutcome]
+    table_i: List[Dict[str, int]]
+
+    # ------------------------------------------------------------------ #
+
+    def at(self, scale: int, label: str) -> PolicyOutcome:
+        for o in self.outcomes:
+            if o.scale == scale and o.policy_label == label:
+                return o
+        raise KeyError(f"no outcome for scale={scale}, policy={label}")
+
+    def scales(self) -> List[int]:
+        return sorted({o.scale for o in self.outcomes})
+
+    def labels(self) -> List[str]:
+        seen: List[str] = []
+        for o in self.outcomes:
+            if o.policy_label not in seen:
+                seen.append(o.policy_label)
+        return seen
+
+    def reduction_vs_baseline(self, scale: int, label: str) -> float:
+        base = self.at(scale, "baseline").wall_s
+        return (base - self.at(scale, label).wall_s) / base
+
+    def best_label(self, scale: int) -> str:
+        return min(
+            (l for l in self.labels()),
+            key=lambda l: self.at(scale, l).wall_s,
+        )
+
+    # ------------------------------------------------------------------ #
+    # the paper's tables/figures as text
+    # ------------------------------------------------------------------ #
+
+    def fig6a_table(self) -> str:
+        """Phase-decomposed runtime per policy per scale."""
+        rows = []
+        for scale in self.scales():
+            for label in self.labels():
+                o = self.at(scale, label)
+                f = o.summary.phase_fractions()
+                rows.append(
+                    [
+                        scale,
+                        label,
+                        round(o.wall_s, 1),
+                        f"{self.reduction_vs_baseline(scale, label):.1%}",
+                        f"{f['compute']:.1%}",
+                        f"{f['comm']:.1%}",
+                        f"{f['sync']:.1%}",
+                        f"{f['lb']:.1%}",
+                    ]
+                )
+        return format_table(
+            ["ranks", "policy", "wall_s", "vs_base", "comp", "comm", "sync", "lb"],
+            rows,
+            title="Fig 6a: total runtime by phase",
+        )
+
+    def fig6b_table(self, scales: Sequence[int] | None = None) -> str:
+        """Comm & sync normalized to baseline (paper shows 512 & 4096)."""
+        scales = list(scales or [self.scales()[0], self.scales()[-1]])
+        rows = []
+        for scale in scales:
+            base = self.at(scale, "baseline").summary.phase_rank_seconds
+            for label in self.labels():
+                p = self.at(scale, label).summary.phase_rank_seconds
+                rows.append(
+                    [
+                        scale,
+                        label,
+                        round(p["comm"] / base["comm"], 3) if base["comm"] else 0.0,
+                        round(p["sync"] / base["sync"], 3) if base["sync"] else 0.0,
+                    ]
+                )
+        return format_table(
+            ["ranks", "policy", "comm/base", "sync/base"],
+            rows,
+            title="Fig 6b: communication vs synchronization tradeoff",
+        )
+
+    def fig6c_table(self, scales: Sequence[int] | None = None) -> str:
+        """Local/remote message split normalized to baseline total."""
+        scales = list(scales or [self.scales()[0], self.scales()[-1]])
+        rows = []
+        for scale in scales:
+            base = self.at(scale, "baseline")
+            base_total = base.msg_local + base.msg_remote
+            for label in self.labels():
+                o = self.at(scale, label)
+                rows.append(
+                    [
+                        scale,
+                        label,
+                        round(o.msg_local / base_total, 3) if base_total else 0.0,
+                        round(o.msg_remote / base_total, 3) if base_total else 0.0,
+                        f"{o.remote_fraction:.0%}",
+                    ]
+                )
+        return format_table(
+            ["ranks", "policy", "local/base", "remote/base", "remote_frac"],
+            rows,
+            title="Fig 6c: P2P message locality",
+        )
+
+    def table_i_text(self) -> str:
+        rows = [
+            [
+                t["ranks"],
+                t["t_total"],
+                t["t_lb"],
+                t["n_initial"],
+                t["n_final"],
+            ]
+            for t in self.table_i
+        ]
+        return format_table(
+            ["ranks", "t_total", "t_lb", "n_initial", "n_final"],
+            rows,
+            title="Table I: problem configurations",
+        )
+
+
+def run_sedov_sweep(config: SedovSweepConfig) -> SedovSweepResult:
+    """Run the full sweep.  Trajectories are shared across policy arms."""
+    outcomes: List[PolicyOutcome] = []
+    table_i: List[Dict[str, int]] = []
+    for scale in config.scales:
+        sedov_cfg = config.sedov_config(scale)
+        workload = SedovWorkload(sedov_cfg)
+        trajectory = workload.full_trajectory()
+        cluster = Cluster(n_ranks=scale)
+
+        for name in config.policies:
+            policy = get_policy(name)
+            summary = run_trajectory(policy, trajectory, cluster, config.driver)
+            label = (
+                cplx_label(float(name.split(":")[1]))
+                if name.startswith("cplx:")
+                else name
+            )
+            outcomes.append(
+                PolicyOutcome(
+                    scale=scale,
+                    policy_label=label,
+                    summary=summary,
+                    msg_local=summary.msg_local,
+                    msg_remote=summary.msg_remote,
+                    msg_intra=summary.msg_intra_rank,
+                )
+            )
+        table_i.append(
+            {
+                "ranks": scale,
+                "t_total": sum(e.n_steps for e in trajectory),
+                "t_lb": max(len(trajectory) - 1, 0),
+                "n_initial": len(trajectory[0].blocks),
+                "n_final": len(trajectory[-1].blocks),
+            }
+        )
+    return SedovSweepResult(outcomes=outcomes, table_i=table_i)

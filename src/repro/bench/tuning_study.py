@@ -1,0 +1,236 @@
+"""Tuning case studies: Figs. 1, 2, 3 (paper §III–§IV).
+
+Each study injects the paper's anomaly into the simulated stack, shows
+the telemetry signature the paper observed, applies the paper's
+mitigation, and shows the signature disappear:
+
+* :func:`correlation_study` (Fig. 1 top) — work↔time correlation,
+  destroyed by shared-memory queue contention, restored by tuning;
+* :func:`spike_study` (Fig. 1 bottom) — ACK-loss MPI_Wait spikes and
+  their impact on collective time, removed by the drain queue;
+* :func:`throttling_study` (Fig. 2) — thermally throttled node clusters
+  inflating synchronization, removed by health-check pruning;
+* :func:`reordering_study` (Fig. 3) — rankwise comm variance across the
+  three tuning stages (untuned → +send priority → +queue tuning).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.policy import get_policy
+from ..simnet.cluster import Cluster
+from ..simnet.faults import FaultModel
+from ..simnet.machine import DEFAULT_FABRIC
+from ..simnet.runtime import BSPModel, ExchangePattern
+from ..simnet.tuning import TUNED, UNTUNED, TuningConfig
+from ..telemetry.analysis import rankwise_variance, work_time_correlation
+from ..telemetry.anomaly import detect_throttled_nodes, detect_wait_spikes
+from ..telemetry.collector import TelemetryCollector
+from .commbench import random_refined_mesh
+
+__all__ = [
+    "StudyEnvironment",
+    "correlation_study",
+    "spike_study",
+    "throttling_study",
+    "reordering_study",
+]
+
+
+@dataclasses.dataclass
+class StudyEnvironment:
+    """A fixed mesh + placement for before/after tuning comparisons."""
+
+    cluster: Cluster
+    pattern: ExchangePattern
+    graph_blocks: int
+
+    @classmethod
+    def build(
+        cls,
+        n_ranks: int = 128,
+        blocks_per_rank: float = 2.0,
+        seed: int = 0,
+        cluster: Cluster | None = None,
+        policy: str = "baseline",
+    ) -> "StudyEnvironment":
+        rng = np.random.default_rng(seed)
+        mesh = random_refined_mesh(n_ranks, blocks_per_rank, rng)
+        costs = rng.lognormal(0.0, 0.3, size=mesh.n_blocks)
+        cluster = cluster or Cluster(n_ranks=n_ranks)
+        assignment = get_policy(policy).place(costs, n_ranks).assignment
+        pattern = ExchangePattern.from_mesh(
+            mesh.neighbor_graph, assignment, costs, cluster
+        )
+        return cls(cluster=cluster, pattern=pattern, graph_blocks=mesh.n_blocks)
+
+
+def _collect(
+    env: StudyEnvironment,
+    tuning: TuningConfig,
+    faults: FaultModel,
+    n_steps: int,
+    seed: int = 1,
+    cluster: Cluster | None = None,
+) -> TelemetryCollector:
+    cluster = cluster or env.cluster
+    model = BSPModel(
+        cluster, tuning=tuning, faults=faults, seed=seed, exchange_rounds=4
+    )
+    coll = TelemetryCollector(cluster.n_ranks, cluster.ranks_per_node)
+    for s in range(n_steps):
+        ph = model.step(env.pattern)
+        coll.record_step(
+            step=s,
+            epoch=0,
+            compute_s=ph.compute,
+            comm_s=ph.comm,
+            sync_s=ph.sync,
+            msgs_local=env.pattern.in_local.astype(np.int64),
+            msgs_remote=env.pattern.in_remote.astype(np.int64),
+        )
+    return coll
+
+
+def correlation_study(
+    n_ranks: int = 128, n_steps: int = 50, seed: int = 0
+) -> Dict[str, float]:
+    """Fig. 1 (top): msgs↔comm-time correlation, untuned vs tuned.
+
+    The correlation is computed per rank across steps against total
+    incoming MPI message count.  Untuned: heavy-tailed shared-memory
+    service noise decorrelates time from work.  Tuned: strong positive
+    correlation — the paper's criterion for trusting telemetry.
+    """
+    env = StudyEnvironment.build(n_ranks=n_ranks, seed=seed)
+    out = {}
+    for name, tuning in (("untuned", UNTUNED), ("tuned", TUNED)):
+        t = _collect(env, tuning, FaultModel(), n_steps, seed=seed + 1).steps_table()
+        total_msgs = t["msgs_local"] + t["msgs_remote"]
+        t = t.with_column("msgs_total", total_msgs)
+        out[name] = work_time_correlation(t, "msgs_total", "comm_s")
+    return out
+
+
+def spike_study(
+    n_ranks: int = 128,
+    n_steps: int = 200,
+    ack_loss_prob: float = 1.5e-4,
+    ack_recovery_s: float = 0.25,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 1 (bottom): ACK-loss MPI_Wait spikes vs the drain queue.
+
+    Reports spike counts (MAD outliers on per-rank-step comm time) and
+    the mean per-step collective (sync) time — the paper saw occasional
+    spikes inflating *average* collective time ~3x.  A balanced (LPT)
+    placement is used so the baseline collective time is the noise
+    floor, as on the tuned cluster where the anomaly was isolated.
+    """
+    env = StudyEnvironment.build(n_ranks=n_ranks, seed=seed, policy="lpt")
+    faults = FaultModel(ack_loss_prob=ack_loss_prob, ack_recovery_s=ack_recovery_s)
+    results: Dict[str, Dict[str, float]] = {}
+    for name, tuning in (
+        ("no_drain_queue", dataclasses.replace(TUNED, drain_queue=False)),
+        ("drain_queue", TUNED),
+    ):
+        t = _collect(env, tuning, faults, n_steps, seed=seed + 2).steps_table()
+        spikes = detect_wait_spikes(t, "comm_s", k_mad=12.0, min_spike_s=5e-3)
+        results[name] = {
+            "spikes": float(spikes.n_spikes),
+            "mean_sync_s": float(t["sync_s"].mean()),
+            "p99_comm_s": float(np.percentile(t["comm_s"], 99)),
+        }
+    return results
+
+
+def throttling_study(
+    n_ranks: int = 256,
+    n_steps: int = 40,
+    throttled_fraction: float = 0.15,
+    seed: int = 0,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 2: thermal throttling detection and pruning.
+
+    Builds an over-provisioned allocation, throttles a fraction of
+    nodes, runs with and without health-check pruning, and reports sync
+    fraction, total runtime, and whether the detector localizes the bad
+    nodes.  The paper saw >70% sync time and a 3–4x runtime reduction
+    from pruning (10 h → 2.5 h).
+    """
+    faults = FaultModel(throttled_node_fraction=throttled_fraction, seed=seed)
+    sick = faults.apply_to_cluster(Cluster(n_ranks=n_ranks))
+    env = StudyEnvironment.build(n_ranks=n_ranks, seed=seed, cluster=sick)
+
+    results: Dict[str, Dict[str, float]] = {}
+    # Arm 1: run on the sick cluster (no health checks).  The tuned stack
+    # is used so the straggler signature lands in synchronization, as in
+    # the paper's profiles.
+    t = _collect(env, TUNED, faults, n_steps, seed=seed + 3, cluster=sick)
+    table = t.steps_table()
+    phases = t.phase_totals()
+    total = sum(phases.values())
+    report = detect_throttled_nodes(table, sick.ranks_per_node)
+    wall_sick = float(
+        (table["compute_s"] + table["comm_s"] + table["sync_s"]).reshape(
+            n_steps, n_ranks
+        ).max(axis=1).sum()
+    )
+    results["throttled"] = {
+        "sync_fraction": phases["sync"] / total,
+        "wall_s": wall_sick,
+        "detected_nodes": float(len(report.throttled_nodes)),
+        "true_bad_nodes": float(len(sick.unhealthy_nodes())),
+    }
+
+    # Arm 2: health checks prune the bad nodes; re-run on healthy subset.
+    healthy = sick.pruned()
+    env2 = StudyEnvironment.build(
+        n_ranks=healthy.n_ranks, seed=seed, cluster=healthy
+    )
+    t2 = _collect(env2, TUNED, FaultModel(), n_steps, seed=seed + 4, cluster=healthy)
+    table2 = t2.steps_table()
+    phases2 = t2.phase_totals()
+    total2 = sum(phases2.values())
+    wall_ok = float(
+        (table2["compute_s"] + table2["comm_s"] + table2["sync_s"]).reshape(
+            n_steps, healthy.n_ranks
+        ).max(axis=1).sum()
+    )
+    results["pruned"] = {
+        "sync_fraction": phases2["sync"] / total2,
+        "wall_s": wall_ok,
+        "detected_nodes": 0.0,
+        "true_bad_nodes": 0.0,
+    }
+    results["speedup"] = {"runtime_ratio": wall_sick / wall_ok}
+    return results
+
+
+def reordering_study(
+    n_ranks: int = 128, n_steps: int = 50, seed: int = 0
+) -> List[Tuple[str, Dict[str, float]]]:
+    """Fig. 3: rankwise boundary-comm variance across tuning stages.
+
+    Three stages: untuned; send priority only; send priority + queue
+    tuning.  Each stage should reduce across-rank spread and
+    within-rank jitter of communication time.
+    """
+    env = StudyEnvironment.build(n_ranks=n_ranks, seed=seed)
+    stages = [
+        ("untuned", UNTUNED),
+        ("send_priority", dataclasses.replace(UNTUNED, send_priority=True)),
+        (
+            "send_priority+queue",
+            dataclasses.replace(UNTUNED, send_priority=True, shm_queue_slots=4096),
+        ),
+    ]
+    out = []
+    for name, tuning in stages:
+        t = _collect(env, tuning, FaultModel(), n_steps, seed=seed + 5).steps_table()
+        out.append((name, rankwise_variance(t, "comm_s")))
+    return out

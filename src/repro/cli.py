@@ -1,0 +1,186 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands mirror the evaluation section:
+
+* ``sedov``      — the Fig. 6 policy sweep (+ Table I statistics)
+* ``commbench``  — Fig. 7a round-latency locality sweep
+* ``scalebench`` — Fig. 7b/7c makespan + overhead sweep
+* ``tuning``     — the Figs. 1–3 case studies
+* ``place``      — one placement computation on synthetic costs
+* ``policies``   — list registered placement policies
+
+Examples::
+
+    python -m repro sedov --scales 512 1024 --steps 1500
+    python -m repro place --policy cplx:50 --blocks 2048 --ranks 512
+    python -m repro scalebench --scales 512 2048 8192
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Lessons from Profiling and Optimizing "
+        "Placement in AMR Codes' (CLUSTER 2025)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    s = sub.add_parser("sedov", help="Fig. 6 Sedov policy sweep")
+    s.add_argument("--scales", type=int, nargs="+", default=[512])
+    s.add_argument("--steps", type=int, default=1500)
+    s.add_argument("--paper-scale", action="store_true",
+                   help="full Table I configurations (slow)")
+    s.add_argument("--policies", nargs="+",
+                   default=["baseline", "cplx:0", "cplx:25", "cplx:50",
+                            "cplx:75", "cplx:100"])
+
+    c = sub.add_parser("commbench", help="Fig. 7a locality microbenchmark")
+    c.add_argument("--ranks", type=int, default=512)
+    c.add_argument("--meshes", type=int, default=5)
+    c.add_argument("--rounds", type=int, default=50)
+
+    b = sub.add_parser("scalebench", help="Fig. 7b/7c placement microbenchmark")
+    b.add_argument("--scales", type=int, nargs="+", default=[512, 2048, 8192])
+    b.add_argument("--repeats", type=int, default=3)
+
+    sub.add_parser("tuning", help="Figs. 1-3 tuning case studies")
+
+    pl = sub.add_parser("place", help="run one placement on synthetic costs")
+    pl.add_argument("--policy", default="cplx:50")
+    pl.add_argument("--blocks", type=int, default=1024)
+    pl.add_argument("--ranks", type=int, default=512)
+    pl.add_argument("--distribution", default="exponential",
+                    choices=["exponential", "gaussian", "power-law"])
+    pl.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("policies", help="list registered placement policies")
+    return p
+
+
+def _cmd_sedov(args) -> int:
+    from .bench import SedovSweepConfig, run_sedov_sweep
+
+    result = run_sedov_sweep(
+        SedovSweepConfig(
+            scales=tuple(args.scales),
+            policies=tuple(args.policies),
+            steps=args.steps,
+            paper_scale=args.paper_scale,
+        )
+    )
+    print(result.table_i_text())
+    print()
+    print(result.fig6a_table())
+    print()
+    print(result.fig6b_table())
+    print()
+    print(result.fig6c_table())
+    for scale in result.scales():
+        best = result.best_label(scale)
+        print(f"\n{scale} ranks: best {best} "
+              f"({result.reduction_vs_baseline(scale, best):.1%} vs baseline)")
+    return 0
+
+
+def _cmd_commbench(args) -> int:
+    from .bench import CommbenchConfig, run_commbench
+
+    r = run_commbench(
+        CommbenchConfig(n_ranks=args.ranks, n_meshes=args.meshes,
+                        n_rounds=args.rounds)
+    )
+    print(r.series())
+    print(f"best X = {r.best_x():g}, discarded {r.discarded_rounds} rounds")
+    return 0
+
+
+def _cmd_scalebench(args) -> int:
+    from .bench import ScalebenchConfig, makespan_table, overhead_table, run_scalebench
+
+    rows = run_scalebench(
+        ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats)
+    )
+    print(makespan_table(rows))
+    print()
+    print(overhead_table(rows))
+    return 0
+
+
+def _cmd_tuning(_args) -> int:
+    from .bench import (
+        correlation_study,
+        reordering_study,
+        spike_study,
+        throttling_study,
+    )
+
+    t = throttling_study(n_ranks=256, n_steps=30)
+    print(f"Fig 2  throttled sync {t['throttled']['sync_fraction']:.0%}, "
+          f"recovery {t['speedup']['runtime_ratio']:.1f}x")
+    c = correlation_study()
+    print(f"Fig 1a correlation untuned {c['untuned']:+.2f} -> tuned {c['tuned']:+.2f}")
+    s = spike_study()
+    print(f"Fig 1b spikes {s['no_drain_queue']['spikes']:.0f} -> "
+          f"{s['drain_queue']['spikes']:.0f} with drain queue "
+          f"({s['no_drain_queue']['mean_sync_s'] / s['drain_queue']['mean_sync_s']:.1f}x "
+          f"collective inflation removed)")
+    for name, var in reordering_study():
+        print(f"Fig 3  {name:22s} spread {var['across_rank_spread'] * 1e3:7.2f} ms  "
+              f"jitter {var['mean_within_rank_jitter'] * 1e3:5.2f} ms")
+    return 0
+
+
+def _cmd_place(args) -> int:
+    from .bench import make_costs
+    from .core import contiguity_fraction, get_policy, load_stats
+
+    costs = make_costs(args.distribution, args.blocks, seed=args.seed)
+    result = get_policy(args.policy).place(costs, args.ranks)
+    stats = load_stats(costs, result.assignment, args.ranks)
+    print(f"policy      : {args.policy}")
+    print(f"blocks/ranks: {args.blocks} / {args.ranks}")
+    print(f"makespan    : {stats.makespan:.4f} (ideal {stats.mean:.4f}, "
+          f"imbalance {stats.imbalance:.3f})")
+    print(f"contiguity  : {contiguity_fraction(result.assignment):.3f}")
+    print(f"elapsed     : {result.elapsed_s * 1e3:.2f} ms (budget 50 ms)")
+    return 0
+
+
+def _cmd_policies(_args) -> int:
+    from .core import available_policies
+
+    for name in available_policies():
+        print(name)
+    print("cplx:<X>   (e.g. cplx:25 == the paper's CPL25)")
+    return 0
+
+
+_COMMANDS = {
+    "sedov": _cmd_sedov,
+    "commbench": _cmd_commbench,
+    "scalebench": _cmd_scalebench,
+    "tuning": _cmd_tuning,
+    "place": _cmd_place,
+    "policies": _cmd_policies,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Placement policies — the paper's primary contribution (§V).
+
+Five policies share one interface (:class:`PlacementPolicy`):
+
+* ``baseline`` — contiguous SFC block-count split (framework default)
+* ``lpt`` — Longest-Processing-Time greedy (pure load balance, CPL100)
+* ``cdp`` / ``cdp-full`` / ``cdp-chunked`` — contiguous DP variants
+  (locality-preserving load balance, CPL0 core)
+* ``cplx`` — the tunable hybrid; ``get_policy("cplx:50")`` == CPL50
+
+plus an exact branch-and-bound reference solver and metrics for both
+optimization dimensions (makespan, message locality).
+"""
+
+from .baseline import BaselinePolicy, assignment_from_counts, contiguous_counts
+from .cdp import (
+    CDPFullPolicy,
+    CDPPolicy,
+    cdp_full,
+    cdp_optimal_makespan,
+    cdp_restricted,
+    counts_makespan,
+)
+from .chunked import ChunkedCDPPolicy, chunked_cdp_counts, split_chunks
+from .cplx import CPLX, select_rebalance_ranks
+from .graphpart import GraphPartitionPolicy, edge_cut, greedy_graph_partition, refine_partition
+from .zonal import ZonalPolicy
+from .ilp import BnBResult, makespan_lower_bound, solve_makespan_bnb
+from .lpt import LPTPolicy, lpt_assign, lpt_assign_subset
+from .metrics import (
+    DEFAULT_MESSAGE_WEIGHTS,
+    LoadStats,
+    MessageStats,
+    contiguity_fraction,
+    load_stats,
+    message_stats,
+    migration_volume,
+    normalized_makespan,
+)
+from .policy import (
+    PlacementPolicy,
+    PlacementResult,
+    available_policies,
+    get_policy,
+    register_policy,
+    validate_assignment,
+)
+from .timing import PAPER_BUDGET_S, BudgetReport, measure_policy, within_budget
+
+__all__ = [
+    "BaselinePolicy",
+    "BnBResult",
+    "BudgetReport",
+    "CDPFullPolicy",
+    "CDPPolicy",
+    "CPLX",
+    "ChunkedCDPPolicy",
+    "DEFAULT_MESSAGE_WEIGHTS",
+    "GraphPartitionPolicy",
+    "ZonalPolicy",
+    "edge_cut",
+    "greedy_graph_partition",
+    "refine_partition",
+    "LPTPolicy",
+    "LoadStats",
+    "MessageStats",
+    "PAPER_BUDGET_S",
+    "PlacementPolicy",
+    "PlacementResult",
+    "assignment_from_counts",
+    "available_policies",
+    "cdp_full",
+    "cdp_optimal_makespan",
+    "cdp_restricted",
+    "chunked_cdp_counts",
+    "contiguity_fraction",
+    "contiguous_counts",
+    "counts_makespan",
+    "get_policy",
+    "load_stats",
+    "lpt_assign",
+    "lpt_assign_subset",
+    "makespan_lower_bound",
+    "measure_policy",
+    "message_stats",
+    "migration_volume",
+    "normalized_makespan",
+    "register_policy",
+    "select_rebalance_ranks",
+    "solve_makespan_bnb",
+    "split_chunks",
+    "validate_assignment",
+    "within_budget",
+]

@@ -1,0 +1,54 @@
+"""Baseline contiguous placement (paper §V-A2).
+
+Orders blocks by block ID (Z-order SFC) and assigns contiguous ranges of
+``ceil(n/r)`` or ``floor(n/r)`` blocks to consecutive ranks — balancing
+*block counts*, not costs, while co-locating spatial neighbors.  This is
+what Parthenon-style codes do out of the box (per-block costs default
+to 1, so count balance == cost balance under their model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .policy import PlacementPolicy, register_policy
+
+__all__ = ["BaselinePolicy", "contiguous_counts", "assignment_from_counts"]
+
+
+def contiguous_counts(n_blocks: int, n_ranks: int) -> np.ndarray:
+    """Per-rank block counts for the baseline split.
+
+    The first ``n mod r`` ranks receive ``ceil(n/r)`` blocks, the rest
+    ``floor(n/r)`` — the same convention as MPI block distribution.  With
+    fewer blocks than ranks, trailing ranks receive zero blocks.
+    """
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    if n_blocks < 0:
+        raise ValueError("n_blocks must be >= 0")
+    base, extra = divmod(n_blocks, n_ranks)
+    counts = np.full(n_ranks, base, dtype=np.int64)
+    counts[:extra] += 1
+    return counts
+
+
+def assignment_from_counts(counts: np.ndarray) -> np.ndarray:
+    """Expand per-rank contiguous counts into a block→rank assignment."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.size and counts.min() < 0:
+        raise ValueError("counts must be non-negative")
+    return np.repeat(np.arange(counts.shape[0], dtype=np.int64), counts)
+
+
+@register_policy("baseline")
+class BaselinePolicy(PlacementPolicy):
+    """Contiguous block-count split along the SFC.
+
+    Ignores ``costs`` entirely (the framework default behaviour the paper
+    improves on); kept cost-aware policies' exact interface so it can be
+    swapped in as the control arm of every experiment.
+    """
+
+    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+        return assignment_from_counts(contiguous_counts(costs.shape[0], n_ranks))

@@ -1,0 +1,196 @@
+"""Contiguous-DP (CDP) placement (paper §V-C).
+
+CDP keeps the baseline's locality (contiguous SFC ranges per rank) but
+chooses the *range boundaries* to minimize makespan.  Formally: given
+block costs ``w_1..w_n`` in SFC order, partition them into ``r``
+contiguous segments minimizing the maximum segment sum.
+
+Three solvers are provided:
+
+* :func:`cdp_restricted` — the paper's production variant: only chunk
+  sizes ``ceil(n/r)`` and ``floor(n/r)`` are considered, giving an
+  ``O(n·r)``-bounded DP (actually ``O(r · (n mod r))``) that is optimal
+  *within the explored chunk sizes*.
+* :func:`cdp_full` — the unrestricted ``O(n^2 r)`` DP; exact but too slow
+  for large meshes.  Kept for the ablation of the restriction.
+* :func:`cdp_optimal_makespan` — exact optimal contiguous makespan via
+  parametric binary search with a greedy feasibility check,
+  ``O(n log(W/eps))``; used to verify both DPs in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .baseline import assignment_from_counts
+from .policy import PlacementPolicy, register_policy
+
+__all__ = [
+    "CDPPolicy",
+    "CDPFullPolicy",
+    "cdp_restricted",
+    "cdp_full",
+    "cdp_optimal_makespan",
+    "counts_makespan",
+]
+
+
+def counts_makespan(costs: np.ndarray, counts: np.ndarray) -> float:
+    """Makespan (max segment cost) of a contiguous split given counts."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if int(counts.sum()) != costs.shape[0]:
+        raise ValueError("counts do not sum to the number of blocks")
+    bounds = np.concatenate([[0], np.cumsum(counts)])
+    prefix = np.concatenate([[0.0], np.cumsum(costs)])
+    seg = prefix[bounds[1:]] - prefix[bounds[:-1]]
+    return float(seg.max()) if seg.size else 0.0
+
+
+def cdp_restricted(costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    """Restricted CDP: per-rank counts limited to {floor(n/r), ceil(n/r)}.
+
+    Returns per-rank contiguous *counts* (not an assignment).  The DP
+    state is (ranks placed, ceil-sized segments used); since the start
+    offset of rank ``k`` with ``j`` ceil segments used is ``k*f + j``,
+    the table is ``(r+1) x (e+1)`` where ``e = n mod r`` — hence the
+    ``O(nr)`` bound quoted in the paper.
+    """
+    n = int(costs.shape[0])
+    if n_ranks < 1:
+        raise ValueError("n_ranks must be >= 1")
+    f, e = divmod(n, n_ranks)
+    prefix = np.concatenate([[0.0], np.cumsum(costs, dtype=np.float64)])
+    if e == 0:
+        # Single legal configuration: every rank takes exactly f blocks.
+        return np.full(n_ranks, f, dtype=np.int64)
+
+    INF = np.inf
+    # dp[j] = best makespan after current k ranks with j ceil segments used
+    dp = np.full(e + 1, INF, dtype=np.float64)
+    dp[0] = 0.0
+    # choice[k, j] = 1 if rank k-1 took a ceil segment on the best path
+    choice = np.zeros((n_ranks + 1, e + 1), dtype=np.int8)
+    js = np.arange(e + 1)
+    for k in range(1, n_ranks + 1):
+        # Feasibility window for j after k ranks.
+        j_lo = max(0, e - (n_ranks - k))
+        j_hi = min(e, k)
+        # Option A: rank k-1 takes a floor-size segment; state j unchanged.
+        start_f = (k - 1) * f + js  # start index given j ceils used before
+        seg_f = prefix[start_f + f] - prefix[start_f] if f > 0 else np.zeros(e + 1)
+        cand_f = np.maximum(dp, seg_f)
+        # Option B: rank k-1 takes a ceil segment; state j-1 -> j.
+        cand_c = np.full(e + 1, INF)
+        if e >= 1:
+            start_c = (k - 1) * f + js[:-1]  # previous state had j-1 = js[:-1]
+            seg_c = prefix[start_c + f + 1] - prefix[start_c]
+            cand_c[1:] = np.maximum(dp[:-1], seg_c)
+        take_ceil = cand_c < cand_f
+        ndp = np.where(take_ceil, cand_c, cand_f)
+        # Mask states outside the feasibility window.
+        invalid = (js < j_lo) | (js > j_hi)
+        ndp[invalid] = INF
+        choice[k] = take_ceil & ~invalid
+        dp = ndp
+
+    # Reconstruct counts from the choice table.
+    counts = np.empty(n_ranks, dtype=np.int64)
+    j = e
+    for k in range(n_ranks, 0, -1):
+        if choice[k, j]:
+            counts[k - 1] = f + 1
+            j -= 1
+        else:
+            counts[k - 1] = f
+    assert j == 0, "CDP reconstruction failed"
+    return counts
+
+
+def cdp_full(costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    """Unrestricted contiguous-partition DP; returns per-rank counts.
+
+    ``DP[i][k] = min over j < i of max(DP[j][k-1], W[i] - W[j])`` — the
+    exact recurrence from the paper (§V-C).  O(n^2 r); use only for
+    small instances (tests, the restriction ablation).
+    """
+    n = int(costs.shape[0])
+    prefix = np.concatenate([[0.0], np.cumsum(costs, dtype=np.float64)])
+    INF = np.inf
+    dp = np.full((n + 1, n_ranks + 1), INF, dtype=np.float64)
+    cut = np.zeros((n + 1, n_ranks + 1), dtype=np.int64)
+    dp[0, 0] = 0.0
+    for k in range(1, n_ranks + 1):
+        for i in range(0, n + 1):
+            # segment (j, i] assigned to rank k-1 (may be empty: j == i)
+            seg = prefix[i] - prefix[: i + 1]  # seg[j] = W[i] - W[j]
+            cand = np.maximum(dp[: i + 1, k - 1], seg)
+            j = int(np.argmin(cand))
+            dp[i, k] = cand[j]
+            cut[i, k] = j
+    counts = np.empty(n_ranks, dtype=np.int64)
+    i = n
+    for k in range(n_ranks, 0, -1):
+        j = int(cut[i, k])
+        counts[k - 1] = i - j
+        i = j
+    assert i == 0, "full CDP reconstruction failed"
+    return counts
+
+
+def cdp_optimal_makespan(costs: np.ndarray, n_ranks: int) -> float:
+    """Exact optimal contiguous makespan (value only), via binary search.
+
+    Greedy feasibility: a threshold ``T`` is achievable iff packing blocks
+    left-to-right, cutting just before the segment would exceed ``T``,
+    uses at most ``r`` segments.  Optimal ``T`` is bracketed between
+    ``max(max_cost, total/r)`` and ``total``; we binary-search to within
+    machine precision of the answer.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    n = int(costs.shape[0])
+    if n == 0:
+        return 0.0
+    total = float(costs.sum())
+    lo = max(float(costs.max()), total / n_ranks)
+    hi = total
+
+    def feasible(T: float) -> bool:
+        segments = 1
+        acc = 0.0
+        for w in costs:
+            if acc + w > T + 1e-12 * max(1.0, T):
+                segments += 1
+                acc = w
+                if segments > n_ranks:
+                    return False
+            else:
+                acc += w
+        return True
+
+    if feasible(lo):
+        return lo
+    for _ in range(100):
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return hi
+
+
+@register_policy("cdp")
+class CDPPolicy(PlacementPolicy):
+    """Locality-preserving load balance: restricted contiguous DP (CPL0 core)."""
+
+    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+        return assignment_from_counts(cdp_restricted(costs, n_ranks))
+
+
+@register_policy("cdp-full")
+class CDPFullPolicy(PlacementPolicy):
+    """Unrestricted contiguous DP (ablation arm; O(n^2 r))."""
+
+    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+        return assignment_from_counts(cdp_full(costs, n_ranks))

@@ -1,0 +1,163 @@
+"""Placement policy protocol and registry.
+
+A *placement policy* maps SFC-ordered block costs to a block→rank
+assignment (paper §V).  Policies receive:
+
+* ``costs`` — per-block compute cost in block-ID (SFC) order.  The
+  baseline infrastructure historically fixes these to 1; the paper's
+  change #1 populates them from telemetry (§V-A3).
+* ``n_ranks`` — number of simulation ranks.
+
+and return an ``(n,)`` int64 array ``assignment`` with
+``assignment[block_id] = rank``.
+
+Policies must be deterministic given their inputs (redistribution runs
+collectively on every rank, and all ranks must compute identical maps)
+and fast enough for the paper's 50 ms placement budget.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import time
+from typing import Callable, Dict, Iterator, Mapping
+
+import numpy as np
+
+__all__ = [
+    "PlacementPolicy",
+    "PlacementResult",
+    "register_policy",
+    "get_policy",
+    "available_policies",
+    "validate_assignment",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacementResult:
+    """Assignment plus bookkeeping from one placement computation.
+
+    Attributes
+    ----------
+    assignment:
+        ``(n,)`` int64 array mapping block ID → rank.
+    policy:
+        Name of the policy that produced it.
+    elapsed_s:
+        Wall-clock placement computation time (the quantity Fig. 7c
+        reports and the 50 ms budget constrains).
+    """
+
+    assignment: np.ndarray
+    policy: str
+    elapsed_s: float
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(self.assignment, dtype=np.int64)
+        object.__setattr__(self, "assignment", arr)
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.assignment.shape[0])
+
+    def loads(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+        """Per-rank total cost under this assignment."""
+        return np.bincount(self.assignment, weights=costs, minlength=n_ranks)
+
+
+def validate_assignment(assignment: np.ndarray, n_blocks: int, n_ranks: int) -> None:
+    """Raise ``ValueError`` if an assignment is malformed.
+
+    Checks shape, dtype domain, and that rank IDs are within range.  An
+    empty rank is legal (more ranks than blocks happens transiently right
+    after startup — Table I starts at exactly one block per rank).
+    """
+    arr = np.asarray(assignment)
+    if arr.shape != (n_blocks,):
+        raise ValueError(f"assignment shape {arr.shape} != ({n_blocks},)")
+    if n_blocks == 0:
+        return
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(f"assignment dtype {arr.dtype} is not integral")
+    lo, hi = int(arr.min()), int(arr.max())
+    if lo < 0 or hi >= n_ranks:
+        raise ValueError(f"rank ids [{lo}, {hi}] outside [0, {n_ranks})")
+
+
+class PlacementPolicy(abc.ABC):
+    """Base class for placement policies.
+
+    Subclasses implement :meth:`compute`; :meth:`place` wraps it with
+    input validation, timing, and output validation.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+        """Return the block→rank assignment for the given costs."""
+
+    def place(self, costs: np.ndarray, n_ranks: int) -> PlacementResult:
+        """Validated, timed placement computation."""
+        costs = np.ascontiguousarray(costs, dtype=np.float64)
+        if costs.ndim != 1:
+            raise ValueError(f"costs must be 1-D, got shape {costs.shape}")
+        if costs.size and not np.isfinite(costs).all():
+            raise ValueError("block costs must be finite (no NaN/inf)")
+        if costs.size and costs.min() < 0:
+            raise ValueError("block costs must be non-negative")
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
+        t0 = time.perf_counter()
+        assignment = self.compute(costs, n_ranks)
+        elapsed = time.perf_counter() - t0
+        validate_assignment(assignment, costs.shape[0], n_ranks)
+        return PlacementResult(
+            assignment=np.asarray(assignment, dtype=np.int64),
+            policy=self.name,
+            elapsed_s=elapsed,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Callable[[], PlacementPolicy]] = {}
+
+
+def register_policy(name: str) -> Callable[[type], type]:
+    """Class decorator registering a zero-arg-constructible policy."""
+
+    def deco(cls: type) -> type:
+        if not issubclass(cls, PlacementPolicy):
+            raise TypeError(f"{cls} is not a PlacementPolicy")
+        _REGISTRY[name] = cls
+        cls.name = name
+        return cls
+
+    return deco
+
+
+def get_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Instantiate a registered policy by name.
+
+    ``cplx:<X>`` is accepted as shorthand for ``CPLX(x_percent=X)``, so
+    the evaluation sweeps can be driven by strings (``cplx:50`` == CPL50).
+    """
+    if name.startswith("cplx:"):
+        from .cplx import CPLX
+
+        return CPLX(x_percent=float(name.split(":", 1)[1]), **kwargs)
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown policy {name!r}; known: {sorted(_REGISTRY)}") from None
+    return factory(**kwargs)
+
+
+def available_policies() -> Iterator[str]:
+    """Names of all registered policies."""
+    return iter(sorted(_REGISTRY))

@@ -1,0 +1,88 @@
+"""Zonal placement: parallel decomposition for very large scales.
+
+Fig. 7c's conclusion: placement cost grows with scale and reaches
+~100 ms at 128K ranks — "at the largest scales, zonal placement
+architectures can be adopted ... dividing ranks into k zones to compute
+placement independently and in parallel" (citing Zheng et al.'s
+hierarchical load balancing).
+
+:class:`ZonalPolicy` is the generic version of the chunking already
+inside CDP: it splits the SFC-ordered blocks into cost-balanced zones,
+gives each zone a proportional contiguous rank range, and runs *any*
+inner policy per zone (optionally in a thread pool).  Zones contain
+contiguous SFC ranges, so zonal placement preserves inter-zone locality
+by construction; quality loss is confined to cross-zone rebalancing
+opportunities, which the ablation bench quantifies.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, List
+
+import numpy as np
+
+from .chunked import _rank_shares, split_chunks
+from .policy import PlacementPolicy, register_policy
+
+__all__ = ["ZonalPolicy"]
+
+
+@register_policy("zonal")
+class ZonalPolicy(PlacementPolicy):
+    """Run an inner policy independently per cost-balanced zone.
+
+    Parameters
+    ----------
+    inner_factory:
+        Zero-arg callable constructing the per-zone policy (a fresh
+        instance per zone keeps implementations free to carry state).
+        Defaults to CPL50 — zonal CPLX is the paper's suggested
+        configuration for extreme scales.
+    ranks_per_zone:
+        Zone granularity in ranks.
+    parallel:
+        Solve zones in a thread pool.
+    """
+
+    def __init__(
+        self,
+        inner_factory: Callable[[], PlacementPolicy] | None = None,
+        ranks_per_zone: int = 1024,
+        parallel: bool = False,
+    ) -> None:
+        if ranks_per_zone < 1:
+            raise ValueError("ranks_per_zone must be >= 1")
+        if inner_factory is None:
+            from .cplx import CPLX
+
+            inner_factory = lambda: CPLX(x_percent=50.0)  # noqa: E731
+        self.inner_factory = inner_factory
+        self.ranks_per_zone = ranks_per_zone
+        self.parallel = parallel
+
+    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+        n = int(costs.shape[0])
+        n_zones = max(1, -(-n_ranks // self.ranks_per_zone))
+        n_zones = min(n_zones, n_ranks, max(n, 1))
+        if n_zones == 1:
+            return self.inner_factory().compute(costs, n_ranks)
+
+        ranges = split_chunks(costs, n_zones)
+        zone_costs = np.asarray(
+            [float(costs[a:b].sum()) for a, b in ranges], dtype=np.float64
+        )
+        shares = _rank_shares(zone_costs, n_ranks)
+        rank_offsets = np.concatenate([[0], np.cumsum(shares)])
+
+        def solve(z: int) -> np.ndarray:
+            a, b = ranges[z]
+            local = self.inner_factory().compute(costs[a:b], int(shares[z]))
+            return local + rank_offsets[z]
+
+        if self.parallel:
+            with concurrent.futures.ThreadPoolExecutor() as pool:
+                parts = list(pool.map(solve, range(n_zones)))
+        else:
+            parts = [solve(z) for z in range(n_zones)]
+        return np.concatenate(parts)

@@ -1,0 +1,22 @@
+"""Critical-path model of BSP AMR execution (paper §IV-D).
+
+Executes per-rank task schedules with happened-before semantics,
+extracts the binding chain to the synchronization straggler, checks the
+paper's two-rank principle, and quantifies the send-priority reordering
+optimization.
+"""
+
+from .analysis import CriticalPath, extract_critical_path, verify_two_rank_principle
+from .model import ScheduledExecution, execute_schedules
+from .ordering import OrderingComparison, compare_orderings, window_execution
+
+__all__ = [
+    "CriticalPath",
+    "OrderingComparison",
+    "ScheduledExecution",
+    "compare_orderings",
+    "execute_schedules",
+    "extract_critical_path",
+    "verify_two_rank_principle",
+    "window_execution",
+]

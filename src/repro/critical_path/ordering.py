@@ -1,0 +1,100 @@
+"""Task-ordering optimization study (§IV-B "Task Reordering", Fig. 4).
+
+Quantifies the send-priority fix on executed windows: build the
+boundary-exchange DAG for a placement, execute it under the untuned
+(sends-last) and tuned (sends-early) schedules, and compare window
+makespan and MPI_Wait.  Prioritizing a send reduces its dispatch time
+without delaying the sender's other tasks' *finish* times, so it can
+only shorten two-rank critical paths (Fig. 4 bottom).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..amr.taskgraph import TaskGraph, build_exchange_graph, rank_schedule
+from .analysis import CriticalPath, extract_critical_path
+from .model import ScheduledExecution, execute_schedules
+
+__all__ = ["OrderingComparison", "compare_orderings", "window_execution"]
+
+
+def window_execution(
+    block_rank: np.ndarray,
+    block_costs: np.ndarray,
+    edges: np.ndarray,
+    send_priority: bool,
+    latency: Callable[[int, int], float] | float = 0.0,
+    send_overhead: float = 0.0,
+) -> ScheduledExecution:
+    """Build and execute one exchange window under a schedule policy."""
+    graph = build_exchange_graph(block_rank, block_costs, edges, send_overhead)
+    ranks = sorted({t.rank for t in graph.tasks})
+    schedules = {r: rank_schedule(graph, r, send_priority=send_priority) for r in ranks}
+    return execute_schedules(graph, schedules, latency)
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderingComparison:
+    """Untuned vs send-priority execution of the same window."""
+
+    untuned: ScheduledExecution
+    tuned: ScheduledExecution
+    untuned_path: CriticalPath
+    tuned_path: CriticalPath
+
+    @property
+    def makespan_reduction(self) -> float:
+        """Relative window-makespan improvement from send priority."""
+        if self.untuned.sync_time == 0:
+            return 0.0
+        return 1.0 - self.tuned.sync_time / self.untuned.sync_time
+
+    @property
+    def wait_reduction(self) -> float:
+        """Relative total-MPI_Wait improvement from send priority."""
+        wu = sum(self.untuned.wait_s.values())
+        wt = sum(self.tuned.wait_s.values())
+        return 1.0 - wt / wu if wu > 0 else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"makespan {self.untuned.sync_time:.4f} -> {self.tuned.sync_time:.4f} "
+            f"({self.makespan_reduction:+.1%}); "
+            f"total wait {sum(self.untuned.wait_s.values()):.4f} -> "
+            f"{sum(self.tuned.wait_s.values()):.4f} ({self.wait_reduction:+.1%}); "
+            f"path ranks {self.untuned_path.implicated_ranks} -> "
+            f"{self.tuned_path.implicated_ranks}"
+        )
+
+
+def compare_orderings(
+    block_rank: np.ndarray,
+    block_costs: np.ndarray,
+    edges: np.ndarray,
+    latency: Callable[[int, int], float] | float = 0.0,
+    send_overhead: float = 0.0,
+) -> OrderingComparison:
+    """Execute the same window under both orderings and analyze both.
+
+    Send priority never *increases* the window makespan in this model
+    (sends have fixed cost and move earlier; nothing else is delayed
+    beyond its untuned finish) — asserted in the property tests.
+    """
+    untuned = window_execution(
+        block_rank, block_costs, edges, send_priority=False,
+        latency=latency, send_overhead=send_overhead,
+    )
+    tuned = window_execution(
+        block_rank, block_costs, edges, send_priority=True,
+        latency=latency, send_overhead=send_overhead,
+    )
+    return OrderingComparison(
+        untuned=untuned,
+        tuned=tuned,
+        untuned_path=extract_critical_path(untuned),
+        tuned_path=extract_critical_path(tuned),
+    )

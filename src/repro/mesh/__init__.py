@@ -1,0 +1,50 @@
+"""Octree / space-filling-curve AMR mesh substrate.
+
+Implements the mesh infrastructure block-based AMR codes (Parthenon,
+Enzo-E, ALPS) rely on: a forest of octrees over an anisotropic root grid,
+Z-order SFC block IDs via depth-first traversal, cross-level
+face/edge/vertex neighbor discovery, and 2:1-balanced refinement.
+"""
+
+from .fast_neighbors import build_neighbor_graph_auto, build_neighbor_graph_fast
+from .geometry import BlockIndex, RootGrid, block_bounds, child_offsets
+from .hilbert import hilbert_encode, hilbert_key, hilbert_sort_blocks
+from .mesh import AmrMesh
+from .neighbors import NeighborGraph, NeighborKind, build_neighbor_graph, find_neighbors
+from .octree import OctreeForest
+from .refinement import (
+    RefinementTags,
+    apply_tags,
+    enforce_two_one_balance,
+    is_two_one_balanced,
+    tag_by_predicate,
+)
+from .sfc import contiguous_ranges, morton_decode, morton_encode, morton_key, sfc_sort_blocks
+
+__all__ = [
+    "AmrMesh",
+    "BlockIndex",
+    "NeighborGraph",
+    "NeighborKind",
+    "OctreeForest",
+    "RefinementTags",
+    "RootGrid",
+    "apply_tags",
+    "block_bounds",
+    "build_neighbor_graph",
+    "build_neighbor_graph_auto",
+    "build_neighbor_graph_fast",
+    "child_offsets",
+    "contiguous_ranges",
+    "enforce_two_one_balance",
+    "find_neighbors",
+    "hilbert_encode",
+    "hilbert_key",
+    "hilbert_sort_blocks",
+    "is_two_one_balanced",
+    "morton_decode",
+    "morton_encode",
+    "morton_key",
+    "sfc_sort_blocks",
+    "tag_by_predicate",
+]

@@ -1,0 +1,172 @@
+"""Refinement tagging and 2:1 balance enforcement.
+
+AMR codes tag blocks for refinement when a physical criterion (e.g. a
+solution gradient) exceeds a threshold, and for coarsening when a region
+becomes smooth (paper §II-B).  Applying raw tags can violate the *2:1
+balance* invariant — adjacent leaves differing by more than one
+refinement level — which block-based codes require so each face abuts at
+most ``2^(dim-1)` neighbors.  This module converts tags into a legal
+sequence of refine/coarsen operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+from .geometry import BlockIndex
+from .neighbors import find_neighbors
+from .octree import OctreeForest
+
+__all__ = ["RefinementTags", "enforce_two_one_balance", "apply_tags", "is_two_one_balanced"]
+
+
+@dataclasses.dataclass
+class RefinementTags:
+    """Sets of leaves tagged for refinement and coarsening.
+
+    Tags are advisory: :func:`apply_tags` drops coarsening tags that
+    would break sibling completeness or 2:1 balance, and adds refinement
+    beyond the tag set where balance requires it.
+    """
+
+    refine: Set[BlockIndex] = dataclasses.field(default_factory=set)
+    coarsen: Set[BlockIndex] = dataclasses.field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        overlap = self.refine & self.coarsen
+        if overlap:
+            raise ValueError(f"blocks tagged both refine and coarsen: {overlap}")
+
+
+def is_two_one_balanced(forest: OctreeForest) -> bool:
+    """Whether every neighbor pair differs by at most one level."""
+    for b in forest.leaves():
+        for nb in find_neighbors(forest, b):
+            if abs(nb.level - b.level) > 1:
+                return False
+    return True
+
+
+def _neighbor_probes(forest: OctreeForest, block: BlockIndex) -> Iterable[BlockIndex]:
+    """Same-level neighbor indices of ``block`` (domain-clipped/wrapped)."""
+    root = forest.root
+    for d in itertools.product((-1, 0, 1), repeat=forest.dim):
+        if not any(d):
+            continue
+        raw = tuple(c + dk for c, dk in zip(block.coords, d))
+        wrapped = root.wrap(block.level, raw)
+        if wrapped is not None:
+            yield BlockIndex(block.level, wrapped)
+
+
+def enforce_two_one_balance(
+    forest: OctreeForest, to_refine: Set[BlockIndex]
+) -> Set[BlockIndex]:
+    """Close a refinement set under the 2:1 balance constraint.
+
+    Given leaves already selected for refinement, returns a superset such
+    that refining all of them leaves the forest 2:1 balanced.  Uses the
+    standard ripple propagation: refining a block at level ``L`` forces
+    any neighboring leaf at level ``L-1`` or coarser to refine too, which
+    may cascade.
+
+    The input forest must already be 2:1 balanced.
+    """
+    result: Set[BlockIndex] = set()
+    # Effective level of each region after refinement = leaf level + 1 if
+    # refined.  Work queue of blocks whose refinement may force neighbors.
+    queue: List[BlockIndex] = [b for b in to_refine if b in forest]
+    pending = set(queue)
+    while queue:
+        b = queue.pop()
+        pending.discard(b)
+        if b in result:
+            continue
+        if b.level >= forest.max_level:
+            continue
+        result.add(b)
+        # After refining b, its children are at b.level + 1.  Any leaf
+        # neighbor at level <= b.level - 1 would now differ by >= 2.
+        for nb in find_neighbors(forest, b):
+            if nb.level < b.level and nb not in result and nb not in pending:
+                pending.add(nb)
+                queue.append(nb)
+    return result
+
+
+def _coarsen_is_safe(
+    forest: OctreeForest,
+    parent: BlockIndex,
+    refined: Set[BlockIndex],
+    coarsened_parents: Set[BlockIndex],
+) -> bool:
+    """Whether coarsening ``parent``'s children keeps 2:1 balance.
+
+    The merged parent sits at ``parent.level``; every region adjacent to
+    it must end at level ``<= parent.level + 1``.  We check the *post-op*
+    level of each adjacent leaf: +1 if it is being refined, -1 if its
+    sibling set is being merged.
+    """
+    children = parent.children()
+    for child in children:
+        for nb in find_neighbors(forest, child):
+            if nb in children:
+                continue
+            lvl = nb.level
+            if nb in refined:
+                lvl += 1
+            elif nb.level > 0 and nb.parent() in coarsened_parents:
+                lvl -= 1
+            if lvl - parent.level > 1:
+                return False
+    return True
+
+
+def apply_tags(forest: OctreeForest, tags: RefinementTags) -> Tuple[int, int]:
+    """Apply tags to the forest in place; returns ``(n_refined, n_coarsened)``.
+
+    Refinement wins over coarsening: the refine set is first closed under
+    2:1 balance, then coarsening is applied only to full sibling sets
+    whose merge does not violate balance against the post-refinement mesh.
+    """
+    refine = enforce_two_one_balance(forest, set(tags.refine))
+
+    # Candidate coarsen parents: all 2^dim siblings tagged, none refined.
+    by_parent: Dict[BlockIndex, Set[BlockIndex]] = {}
+    for b in tags.coarsen:
+        if b in forest and b.level > 0 and b not in refine:
+            by_parent.setdefault(b.parent(), set()).add(b)
+    full = 1 << forest.dim
+    candidates = {
+        p for p, kids in by_parent.items()
+        if len(kids) == full and not any(k in refine for k in p.children())
+    }
+
+    # Greedily accept merges that stay balanced (order-stable via sort).
+    accepted: Set[BlockIndex] = set()
+    for p in sorted(candidates, key=lambda x: (x.level, x.coords)):
+        if _coarsen_is_safe(forest, p, refine, accepted):
+            accepted.add(p)
+
+    for b in sorted(refine, key=lambda x: (x.level, x.coords)):
+        forest.refine(b)
+    for p in sorted(accepted, key=lambda x: (x.level, x.coords)):
+        forest.coarsen(p.children()[0])
+    return len(refine), len(accepted)
+
+
+def tag_by_predicate(
+    forest: OctreeForest,
+    should_refine: Callable[[BlockIndex], bool],
+    should_coarsen: Callable[[BlockIndex], bool] | None = None,
+) -> RefinementTags:
+    """Build tags from per-block predicates (refine wins on conflict)."""
+    tags = RefinementTags()
+    for b in forest.leaves():
+        if b.level < forest.max_level and should_refine(b):
+            tags.refine.add(b)
+        elif should_coarsen is not None and b.level > 0 and should_coarsen(b):
+            tags.coarsen.add(b)
+    return tags

@@ -1,0 +1,48 @@
+"""Simulated cluster substrate: machines, topology, MPI, faults, tuning.
+
+Replaces the paper's 600-node Emulab testbed with two execution models
+that share the same environment description:
+
+* :class:`~repro.simnet.mpi.SimMPI` — discrete-event simulated MPI with
+  faithful happened-before semantics (fine-grained; drives the
+  critical-path studies and validates the fast model);
+* :class:`~repro.simnet.runtime.BSPModel` — vectorized per-step phase
+  model (fast; drives the Sedov experiments and microbenchmarks).
+"""
+
+from .cluster import Cluster
+from .events import Emit, Engine, SimEvent, Timeout, WaitEvent
+from .faults import NO_FAULTS, FaultModel
+from .machine import DEFAULT_FABRIC, DEFAULT_MACHINE, FabricSpec, MachineSpec
+from .mpi import PhaseTimes, Request, SimMPI
+from .runtime import BSPModel, ExchangePattern, StepPhases
+from .tuning import TUNED, UNTUNED, TuningConfig
+from .validate import DESComparison, compare_models, run_des_step
+
+__all__ = [
+    "BSPModel",
+    "Cluster",
+    "DESComparison",
+    "compare_models",
+    "run_des_step",
+    "DEFAULT_FABRIC",
+    "DEFAULT_MACHINE",
+    "Emit",
+    "Engine",
+    "ExchangePattern",
+    "FabricSpec",
+    "FaultModel",
+    "MachineSpec",
+    "NO_FAULTS",
+    "PhaseTimes",
+    "Request",
+    "SimEvent",
+    "SimMPI",
+    "StepPhases",
+    "TUNED",
+    "TUNED",
+    "Timeout",
+    "TuningConfig",
+    "UNTUNED",
+    "WaitEvent",
+]

@@ -1,0 +1,124 @@
+"""Cluster topology: ranks, nodes, and per-rank speed state.
+
+A :class:`Cluster` maps ranks onto nodes (dense packing, as on the
+paper's testbed) and tracks per-node health state injected by
+:mod:`repro.simnet.faults`.  The launch workflow with over-provisioning
+and pre/post-job health checks (§IV-A) is modeled by
+:meth:`Cluster.pruned`, which drops unhealthy nodes and renumbers ranks,
+exactly like excluding nodes from an MPI hostfile.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+from .machine import DEFAULT_MACHINE, MachineSpec
+
+__all__ = ["Cluster"]
+
+
+@dataclasses.dataclass
+class Cluster:
+    """A set of ranks packed onto homogeneous nodes.
+
+    Attributes
+    ----------
+    n_ranks:
+        Total MPI ranks.
+    machine:
+        Node hardware spec.
+    node_speed_factor:
+        Per-node compute-time multiplier (1.0 healthy; >1 slower).
+        Thermal throttling sets this to ``machine.throttle_factor`` for
+        whole nodes, which is why slowdowns appear "in clusters of 16"
+        (Fig. 2).
+    """
+
+    n_ranks: int
+    machine: MachineSpec = dataclasses.field(default_factory=lambda: DEFAULT_MACHINE)
+    node_speed_factor: np.ndarray = dataclasses.field(default=None)  # type: ignore[assignment]
+    #: nodes per leaf switch; messages crossing switches pay an extra
+    #: latency hop (fat-tree-style two-tier topology).  0 = flat network.
+    nodes_per_switch: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if self.node_speed_factor is None:
+            self.node_speed_factor = np.ones(self.n_nodes, dtype=np.float64)
+        else:
+            self.node_speed_factor = np.asarray(self.node_speed_factor, dtype=np.float64)
+            if self.node_speed_factor.shape != (self.n_nodes,):
+                raise ValueError(
+                    f"node_speed_factor shape {self.node_speed_factor.shape} "
+                    f"!= ({self.n_nodes},)"
+                )
+            if self.node_speed_factor.min() < 1.0:
+                raise ValueError("speed factors are slowdown multipliers; must be >= 1")
+
+    @property
+    def ranks_per_node(self) -> int:
+        return self.machine.cores_per_node
+
+    @property
+    def n_nodes(self) -> int:
+        return -(-self.n_ranks // self.ranks_per_node)
+
+    def node_of(self, ranks: np.ndarray | int) -> np.ndarray | int:
+        """Node ID(s) hosting the given rank(s)."""
+        return np.asarray(ranks) // self.ranks_per_node
+
+    def switch_of(self, ranks: np.ndarray | int) -> np.ndarray | int:
+        """Leaf-switch ID(s) of the given rank(s) (0 if flat network)."""
+        nodes = np.asarray(ranks) // self.ranks_per_node
+        if self.nodes_per_switch <= 0:
+            return np.zeros_like(nodes)
+        return nodes // self.nodes_per_switch
+
+    def rank_speed_factor(self) -> np.ndarray:
+        """Per-rank compute-time multiplier (from node health)."""
+        nodes = np.arange(self.n_ranks) // self.ranks_per_node
+        return self.node_speed_factor[nodes]
+
+    def throttle_nodes(self, node_ids: Sequence[int]) -> "Cluster":
+        """Return a copy with the given nodes thermally throttled."""
+        factor = self.node_speed_factor.copy()
+        for nid in node_ids:
+            if not 0 <= nid < self.n_nodes:
+                raise ValueError(f"node {nid} out of range [0, {self.n_nodes})")
+            factor[nid] = self.machine.throttle_factor
+        return dataclasses.replace(self, node_speed_factor=factor)
+
+    def unhealthy_nodes(self, threshold: float = 1.5) -> List[int]:
+        """Nodes whose speed factor exceeds ``threshold`` (health check)."""
+        return [int(i) for i in np.nonzero(self.node_speed_factor > threshold)[0]]
+
+    def pruned(self, threshold: float = 1.5) -> "Cluster":
+        """Drop unhealthy nodes and renumber ranks densely.
+
+        Models the paper's launch workflow: over-provisioned allocations
+        run health checks, failing nodes are blacklisted, and the job
+        starts on the remaining (healthy) nodes with fewer ranks.
+        """
+        bad = set(self.unhealthy_nodes(threshold))
+        if not bad:
+            return self
+        keep = [i for i in range(self.n_nodes) if i not in bad]
+        if not keep:
+            raise RuntimeError("health check pruned every node")
+        n_ranks = min(self.n_ranks, len(keep) * self.ranks_per_node)
+        return Cluster(
+            n_ranks=n_ranks,
+            machine=self.machine,
+            node_speed_factor=self.node_speed_factor[keep][: -(-n_ranks // self.ranks_per_node)],
+        )
+
+    def __repr__(self) -> str:
+        bad = self.unhealthy_nodes()
+        return (
+            f"Cluster(ranks={self.n_ranks}, nodes={self.n_nodes}, "
+            f"ranks_per_node={self.ranks_per_node}, unhealthy_nodes={len(bad)})"
+        )

@@ -1,0 +1,107 @@
+"""Fail-slow hardware and fabric fault injection (paper §IV-A, Fig. 1b).
+
+Faults here are the *causes* the paper had to diagnose before placement
+work could begin:
+
+* **Thermal throttling** — whole nodes slow down by ~4x; with 16 ranks
+  per node the telemetry shows slowdowns "in clusters of 16" (Fig. 2).
+* **ACK-loss recovery stalls** — the fabric occasionally misses an
+  acknowledgment and the driver's recovery path blocks the *sender* in
+  ``MPI_Wait`` even though the receiver already has the data (Fig. 1b).
+
+Injection is deterministic given the seed so experiments are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .cluster import Cluster
+
+__all__ = ["FaultModel", "NO_FAULTS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """Configured fault injection for a simulated run.
+
+    Attributes
+    ----------
+    throttled_node_fraction:
+        Fraction of nodes thermally throttled at job start.
+    ack_loss_prob:
+        Per remote-message probability of a missing ACK.
+    ack_recovery_s:
+        Sender stall caused by one recovery event (when the drain queue
+        is disabled).  The paper observed multi-millisecond spikes on
+        microsecond-scale messages.
+    seed:
+        Seed for fault-site selection.
+    """
+
+    throttled_node_fraction: float = 0.0
+    ack_loss_prob: float = 0.0
+    ack_recovery_s: float = 5.0e-3
+    seed: int = 12345
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.throttled_node_fraction <= 1.0:
+            raise ValueError("throttled_node_fraction must be in [0, 1]")
+        if not 0.0 <= self.ack_loss_prob <= 1.0:
+            raise ValueError("ack_loss_prob must be in [0, 1]")
+        if self.ack_recovery_s < 0:
+            raise ValueError("ack_recovery_s must be >= 0")
+
+    def apply_to_cluster(self, cluster: Cluster) -> Cluster:
+        """Throttle the selected fraction of nodes (deterministic)."""
+        if self.throttled_node_fraction == 0.0:
+            return cluster
+        rng = np.random.default_rng(self.seed)
+        n_bad = int(round(self.throttled_node_fraction * cluster.n_nodes))
+        if n_bad == 0 and self.throttled_node_fraction > 0:
+            n_bad = 1
+        bad = rng.choice(cluster.n_nodes, size=min(n_bad, cluster.n_nodes), replace=False)
+        return cluster.throttle_nodes([int(b) for b in bad])
+
+    def ack_stall_expectation(
+        self, remote_sends_per_rank: np.ndarray, drain_queue: bool
+    ) -> np.ndarray:
+        """Expected per-rank sender stall per step from ACK recovery.
+
+        With the drain queue enabled the stall is eliminated (requests
+        drain in the background); otherwise each remote send stalls its
+        sender with probability ``ack_loss_prob`` for ``ack_recovery_s``.
+        """
+        if drain_queue or self.ack_loss_prob == 0.0:
+            return np.zeros_like(np.asarray(remote_sends_per_rank, dtype=np.float64))
+        return (
+            np.asarray(remote_sends_per_rank, dtype=np.float64)
+            * self.ack_loss_prob
+            * self.ack_recovery_s
+        )
+
+    def sample_ack_stalls(
+        self,
+        remote_sends_per_rank: np.ndarray,
+        drain_queue: bool,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sampled per-rank sender stall for one step (spiky, Fig. 1b).
+
+        Binomial number of recovery events per rank; each event stalls
+        the sender the full recovery time — so most steps see zero and a
+        few see multi-millisecond spikes, reproducing the telemetry
+        signature rather than its mean.
+        """
+        sends = np.asarray(remote_sends_per_rank)
+        if drain_queue or self.ack_loss_prob == 0.0:
+            return np.zeros(sends.shape[0], dtype=np.float64)
+        events = rng.binomial(np.maximum(sends, 0).astype(np.int64), self.ack_loss_prob)
+        return events.astype(np.float64) * self.ack_recovery_s
+
+
+#: A healthy cluster and fabric.
+NO_FAULTS = FaultModel()

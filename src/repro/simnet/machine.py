@@ -1,0 +1,118 @@
+"""Machine and fabric specifications for the simulated cluster.
+
+Defaults approximate the paper's research cluster: 16-core Intel Xeon
+E5-2670 nodes with 40 Gbps QLogic fabric, one rank per core.  The
+absolute values matter less than the *ratios* that drive placement
+effects — local vs remote latency, per-message overheads, and compute
+kernel cost per block.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["MachineSpec", "FabricSpec", "DEFAULT_MACHINE", "DEFAULT_FABRIC"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineSpec:
+    """Per-node compute characteristics.
+
+    Attributes
+    ----------
+    cores_per_node:
+        Ranks packed per node (paper: 16).
+    block_compute_s:
+        Baseline seconds to advance one mesh block one timestep at unit
+        block cost.  Sedov's ~250 ms timesteps with ~2 blocks/rank give
+        ~100 ms per unit-cost block; per-block *cost* multipliers model
+        kernel variability on top.
+    compute_noise_sigma:
+        Sigma of the lognormal machine-level compute noise (OS jitter,
+        cache effects) applied per rank per step.
+    throttle_factor:
+        Compute slowdown multiplier on thermally throttled nodes
+        (paper Fig. 2: inflated by up to 4x).
+    """
+
+    cores_per_node: int = 16
+    block_compute_s: float = 0.100
+    compute_noise_sigma: float = 0.02
+    throttle_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if self.block_compute_s <= 0:
+            raise ValueError("block_compute_s must be positive")
+        if self.compute_noise_sigma < 0:
+            raise ValueError("compute_noise_sigma must be >= 0")
+        if self.throttle_factor < 1:
+            raise ValueError("throttle_factor must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricSpec:
+    """Network/fabric characteristics (local = intra-node shared memory,
+    remote = inter-node fabric).
+
+    Boundary exchanges are small and latency-sensitive (§II-B), so the
+    per-message latency terms dominate the bandwidth terms at AMR
+    message sizes.
+
+    Attributes
+    ----------
+    local_latency_s / remote_latency_s:
+        Base one-way latency per message.
+    local_bandwidth / remote_bandwidth:
+        Payload bandwidth in cost-units (cells) per second; message
+        *sizes* use the face/edge/vertex cell-volume weights.
+    local_service_s / remote_service_s:
+        *Effective* per-message receiver-side cost per exchange round —
+        matching, progression, unpack, and queue service folded into one
+        constant (calibrated so simulated phase fractions land in the
+        paper's bands, not a raw wire time).  Incoming messages
+        serialize on this, which is what creates communication hotspots
+        when locality clusters traffic (Fig. 7a).
+    collective_base_s / collective_per_level_s:
+        Allreduce cost model: ``base + per_level * log2(r)``.
+    """
+
+    local_latency_s: float = 1.0e-6
+    remote_latency_s: float = 6.0e-6
+    local_bandwidth: float = 4.0e9
+    remote_bandwidth: float = 6.0e8
+    local_service_s: float = 70.0e-6
+    remote_service_s: float = 500.0e-6
+    collective_base_s: float = 10.0e-6
+    collective_per_level_s: float = 5.0e-6
+    #: extra one-way latency for messages crossing leaf switches in a
+    #: two-tier (fat-tree-style) topology; 0 on a flat network
+    cross_switch_extra_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "local_latency_s",
+            "remote_latency_s",
+            "local_bandwidth",
+            "remote_bandwidth",
+            "local_service_s",
+            "remote_service_s",
+            "collective_base_s",
+            "collective_per_level_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.cross_switch_extra_s < 0:
+            raise ValueError("cross_switch_extra_s must be >= 0")
+
+    def collective_cost_s(self, n_ranks: int) -> float:
+        """Base cost of one allreduce/barrier over ``n_ranks`` (no skew)."""
+        import math
+
+        levels = math.ceil(math.log2(max(n_ranks, 2)))
+        return self.collective_base_s + self.collective_per_level_s * levels
+
+
+DEFAULT_MACHINE = MachineSpec()
+DEFAULT_FABRIC = FabricSpec()

@@ -1,0 +1,342 @@
+"""Vectorized BSP execution model for AMR timesteps.
+
+This is the fast path used by the Sedov experiments and microbenchmarks:
+instead of simulating every message as a discrete event, each timestep
+is evaluated with closed-form, vectorized phase arithmetic over ranks
+and rank-pairs.  The model captures the mechanisms the paper measures:
+
+* per-rank **compute** time from assigned block costs, node speed
+  (throttling) and machine noise;
+* **send dispatch** timing as a function of task ordering — with send
+  priority, a rank's boundary data dispatches while it computes; without
+  it, sends queue behind compute *and waits*, creating the cascading
+  delays of §IV-B (modeled as a cross-rank fixpoint);
+* per-message transport latency split into **local** (shared-memory) and
+  **remote** (fabric) paths, with receiver-side service backlog that
+  serializes incoming messages (traffic hotspots, Fig. 7a) and
+  heavy-tailed local service when the shared-memory queue is undersized
+  (Fig. 1a / Fig. 3);
+* **ACK-loss sender stalls** when the drain queue is disabled (Fig. 1b);
+* **synchronization** as a terminal allreduce: every rank stalls until
+  the straggler arrives (Fig. 6a's dominant phase).
+
+One step costs O(ranks + rank-pairs), so 50k-step runs at 4096 ranks are
+tractable; the driver additionally compresses constant-placement epochs
+(see :mod:`repro.amr.driver`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.metrics import DEFAULT_MESSAGE_WEIGHTS
+from ..mesh.neighbors import NeighborGraph
+from .cluster import Cluster
+from .faults import NO_FAULTS, FaultModel
+from .machine import DEFAULT_FABRIC, FabricSpec
+from .tuning import TUNED, TuningConfig
+
+__all__ = ["ExchangePattern", "StepPhases", "BSPModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExchangePattern:
+    """Boundary-exchange structure for a fixed (mesh, assignment) epoch.
+
+    All arrays are precomputed once per redistribution epoch; per-step
+    evaluation only adds noise terms.
+
+    Attributes
+    ----------
+    n_ranks:
+        World size.
+    pair_src, pair_dst, pair_local, pair_latency:
+        Directed rank-pair message aggregates: source rank, destination
+        rank, locality flag, and the critical-path transport latency of
+        the pair (base path latency + largest single message's
+        serialization).
+    in_local, in_remote:
+        Per-rank incoming message counts (block-pair granularity).
+    out_remote:
+        Per-rank outgoing remote message counts (ACK-stall exposure).
+    loads:
+        Per-rank compute load (sum of assigned block costs).
+    intra_volume:
+        Per-rank same-rank boundary volume serviced by ``memcpy``.
+    """
+
+    n_ranks: int
+    pair_src: np.ndarray
+    pair_dst: np.ndarray
+    pair_local: np.ndarray
+    pair_latency: np.ndarray
+    in_local: np.ndarray
+    in_remote: np.ndarray
+    out_remote: np.ndarray
+    loads: np.ndarray
+    intra_volume: np.ndarray
+
+    @classmethod
+    def from_mesh(
+        cls,
+        graph: NeighborGraph,
+        assignment: np.ndarray,
+        costs: np.ndarray,
+        cluster: Cluster,
+        fabric: FabricSpec = DEFAULT_FABRIC,
+        weights: Dict | None = None,
+    ) -> "ExchangePattern":
+        """Aggregate a block-level neighbor graph to rank-pair arrays."""
+        n_ranks = cluster.n_ranks
+        assignment = np.asarray(assignment, dtype=np.int64)
+        loads = np.bincount(assignment, weights=costs, minlength=n_ranks)
+        w = graph.edge_weights(weights or DEFAULT_MESSAGE_WEIGHTS)
+
+        if graph.n_edges == 0:
+            z = np.zeros(n_ranks, dtype=np.float64)
+            return cls(
+                n_ranks=n_ranks,
+                pair_src=np.empty(0, dtype=np.int64),
+                pair_dst=np.empty(0, dtype=np.int64),
+                pair_local=np.empty(0, dtype=bool),
+                pair_latency=np.empty(0, dtype=np.float64),
+                in_local=z.copy(),
+                in_remote=z.copy(),
+                out_remote=z.copy(),
+                loads=loads,
+                intra_volume=z.copy(),
+            )
+
+        ra = assignment[graph.edges[:, 0]]
+        rb = assignment[graph.edges[:, 1]]
+        cross = ra != rb
+        intra_volume = np.bincount(
+            ra[~cross], weights=w[~cross], minlength=n_ranks
+        ).astype(np.float64)
+
+        # Directed messages: each cross-rank block pair exchanges both ways.
+        src = np.concatenate([ra[cross], rb[cross]])
+        dst = np.concatenate([rb[cross], ra[cross]])
+        size = np.concatenate([w[cross], w[cross]])
+        node_src = src // cluster.ranks_per_node
+        node_dst = dst // cluster.ranks_per_node
+        local = node_src == node_dst
+
+        in_local = np.bincount(dst[local], minlength=n_ranks).astype(np.float64)
+        in_remote = np.bincount(dst[~local], minlength=n_ranks).astype(np.float64)
+        out_remote = np.bincount(src[~local], minlength=n_ranks).astype(np.float64)
+
+        # Collapse to unique rank pairs, keeping the largest message per
+        # pair for the critical transport latency.
+        key = src * np.int64(n_ranks) + dst
+        order = np.argsort(key, kind="stable")
+        key_s, size_s = key[order], size[order]
+        uniq, start = np.unique(key_s, return_index=True)
+        max_size = np.maximum.reduceat(size_s, start)
+        p_src = (uniq // n_ranks).astype(np.int64)
+        p_dst = (uniq % n_ranks).astype(np.int64)
+        p_local = (p_src // cluster.ranks_per_node) == (p_dst // cluster.ranks_per_node)
+        lat = np.where(
+            p_local,
+            fabric.local_latency_s + max_size / fabric.local_bandwidth,
+            fabric.remote_latency_s + max_size / fabric.remote_bandwidth,
+        )
+        if fabric.cross_switch_extra_s > 0:
+            cross = np.asarray(cluster.switch_of(p_src)) != np.asarray(
+                cluster.switch_of(p_dst)
+            )
+            lat = lat + cross * fabric.cross_switch_extra_s
+        return cls(
+            n_ranks=n_ranks,
+            pair_src=p_src,
+            pair_dst=p_dst,
+            pair_local=np.asarray(p_local, dtype=bool),
+            pair_latency=lat.astype(np.float64),
+            in_local=in_local,
+            in_remote=in_remote,
+            out_remote=out_remote,
+            loads=np.asarray(loads, dtype=np.float64),
+            intra_volume=intra_volume,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class StepPhases:
+    """Per-rank phase times for one simulated timestep (seconds)."""
+
+    compute: np.ndarray
+    comm: np.ndarray
+    sync: np.ndarray
+
+    @property
+    def step_time(self) -> float:
+        """Wall-clock duration of the step (identical for all ranks)."""
+        return float((self.compute + self.comm + self.sync).max())
+
+    def totals(self) -> Dict[str, float]:
+        """Aggregate rank-seconds per phase."""
+        return {
+            "compute": float(self.compute.sum()),
+            "comm": float(self.comm.sum()),
+            "sync": float(self.sync.sum()),
+        }
+
+
+class BSPModel:
+    """Evaluates BSP timesteps over an :class:`ExchangePattern`.
+
+    Parameters
+    ----------
+    cluster, fabric, tuning, faults:
+        The simulated environment.
+    seed:
+        Seed for the per-step noise stream.
+    """
+
+    #: fixpoint iterations for the untuned send-after-wait cascade
+    CASCADE_ITERS = 4
+    #: memcpy throughput for intra-rank boundary copies (cells/second)
+    MEMCPY_BANDWIDTH = 2.0e10
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        fabric: FabricSpec = DEFAULT_FABRIC,
+        tuning: TuningConfig = TUNED,
+        faults: FaultModel = NO_FAULTS,
+        seed: int = 0,
+        exchange_rounds: int = 1,
+    ) -> None:
+        if exchange_rounds < 1:
+            raise ValueError("exchange_rounds must be >= 1")
+        self.cluster = cluster
+        self.fabric = fabric
+        self.tuning = tuning
+        self.faults = faults
+        self.rng = np.random.default_rng(seed)
+        self.exchange_rounds = exchange_rounds
+        self._speed = cluster.rank_speed_factor()
+
+    # ------------------------------------------------------------------ #
+
+    def step(self, pattern: ExchangePattern, compute_scale: float = 1.0) -> StepPhases:
+        """Simulate one timestep; returns per-rank phase times.
+
+        ``compute_scale`` converts block cost units into seconds
+        (defaults to the machine's per-unit-cost kernel time via the
+        cluster's machine spec when 1.0 is passed to :meth:`step_seconds`).
+        """
+        rng = self.rng
+        f = self.fabric
+        t = self.tuning
+        n = pattern.n_ranks
+
+        # -- compute phase ---------------------------------------------
+        noise = rng.lognormal(0.0, self.cluster.machine.compute_noise_sigma, size=n)
+        compute = (
+            pattern.loads
+            * self.cluster.machine.block_compute_s
+            * compute_scale
+            * self._speed
+            * noise
+        )
+
+        # -- send dispatch ----------------------------------------------
+        if t.send_priority:
+            # Boundary cells are computed and sent first (the §IV-B
+            # reordering): the message a neighbor waits on dispatches
+            # early in the sender's compute phase.
+            frac = rng.uniform(0.10, 0.35, size=n)
+            dispatch = compute * frac
+        else:
+            dispatch = compute.copy()  # refined by the cascade below
+
+        # -- receiver-side service backlog ------------------------------
+        # Per exchange round; a timestep issues `exchange_rounds` rounds
+        # (multi-stage integrators + flux correction + ghost refills).
+        rounds = self.exchange_rounds
+        local_sigma = t.queue_contention_sigma(
+            float(pattern.in_local.mean()) if n else 0.0
+        )
+        local_service = (
+            pattern.in_local
+            * f.local_service_s
+            * rng.lognormal(0.0, local_sigma, size=n)
+        )
+        remote_service = pattern.in_remote * f.remote_service_s
+        backlog = (local_service + remote_service) * rounds
+
+        # -- ACK-loss sender stalls --------------------------------------
+        stalls = self.faults.sample_ack_stalls(
+            (pattern.out_remote * rounds).astype(np.int64), t.drain_queue, rng
+        )
+
+        # -- memcpy for co-located neighbors ------------------------------
+        memcpy = pattern.intra_volume * rounds / self.MEMCPY_BANDWIDTH
+
+        # -- arrival fixpoint ---------------------------------------------
+        def arrivals(disp: np.ndarray) -> np.ndarray:
+            arr = np.zeros(n, dtype=np.float64)
+            if pattern.pair_src.size:
+                np.maximum.at(
+                    arr,
+                    pattern.pair_dst,
+                    disp[pattern.pair_src] + pattern.pair_latency,
+                )
+            return arr
+
+        if t.send_priority:
+            # Early dispatch means a rank rarely waits on neighbor skew:
+            # arrivals race only against the receiver's own compute.
+            max_arrival = arrivals(dispatch)
+            ready = np.maximum(compute, max_arrival) + backlog + memcpy
+        else:
+            # Sends scheduled after compute *and* waits: dispatch depends
+            # on the rank's own wait, which depends on other ranks'
+            # dispatches — iterate the cascade to (near) fixpoint.
+            ready = compute + backlog + memcpy
+            for _ in range(self.CASCADE_ITERS):
+                dispatch = ready
+                max_arrival = arrivals(dispatch)
+                ready = np.maximum(compute, max_arrival) + backlog + memcpy
+
+        # Senders blocked in MPI_Wait by ACK recovery: the recovery path
+        # serializes before the rank can proceed to the collective, so the
+        # stall adds to the rank's ready time (Fig. 1b's spike signature).
+        ready = ready + stalls
+
+        comm = ready - compute
+
+        # -- synchronization ----------------------------------------------
+        t_done = float(ready.max()) + f.collective_cost_s(n)
+        sync = t_done - ready
+        return StepPhases(compute=compute, comm=comm, sync=sync)
+
+    def simulate_steps(
+        self, pattern: ExchangePattern, n_steps: int, max_samples: int = 4
+    ) -> Tuple[StepPhases, float]:
+        """Simulate an epoch of ``n_steps`` identical-structure steps.
+
+        Samples ``min(n_steps, max_samples)`` steps and scales the mean —
+        placement, mesh, and loads are constant within an epoch, so only
+        the noise stream differs step to step.  Returns (mean per-step
+        phases, total epoch wall time).
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        k = min(n_steps, max_samples)
+        acc_c = np.zeros(pattern.n_ranks)
+        acc_m = np.zeros(pattern.n_ranks)
+        acc_s = np.zeros(pattern.n_ranks)
+        wall = 0.0
+        for _ in range(k):
+            ph = self.step(pattern)
+            acc_c += ph.compute
+            acc_m += ph.comm
+            acc_s += ph.sync
+            wall += ph.step_time
+        mean = StepPhases(compute=acc_c / k, comm=acc_m / k, sync=acc_s / k)
+        return mean, wall / k * n_steps

@@ -1,0 +1,146 @@
+"""Cross-validation: discrete-event MPI vs the vectorized BSP model.
+
+The Sedov experiments run on the closed-form vectorized model
+(:class:`~repro.simnet.runtime.BSPModel`) for tractability; the
+discrete-event simulator (:class:`~repro.simnet.mpi.SimMPI`) executes
+real isend/irecv/wait/allreduce semantics message by message.  This
+module runs the *same* workload (block placement + neighbor messages +
+per-rank compute) on both and compares per-step wall time — the
+fidelity check behind the "epoch-compressed simulation" design choice
+(see ``benchmarks/test_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Generator, List, Tuple
+
+import numpy as np
+
+from ..core.metrics import DEFAULT_MESSAGE_WEIGHTS
+from ..mesh.neighbors import NeighborGraph
+from .cluster import Cluster
+from .events import Engine
+from .machine import DEFAULT_FABRIC, FabricSpec
+from .mpi import SimMPI
+from .runtime import BSPModel, ExchangePattern
+from .tuning import TUNED, TuningConfig
+
+__all__ = ["DESComparison", "run_des_step", "compare_models"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DESComparison:
+    """Wall-time comparison of one BSP step under both execution models."""
+
+    des_wall_s: float
+    vectorized_wall_s: float
+    des_phase_means: Dict[str, float]
+
+    @property
+    def relative_gap(self) -> float:
+        base = max(self.vectorized_wall_s, 1e-12)
+        return abs(self.des_wall_s - self.vectorized_wall_s) / base
+
+
+def run_des_step(
+    graph: NeighborGraph,
+    assignment: np.ndarray,
+    costs: np.ndarray,
+    cluster: Cluster,
+    fabric: FabricSpec = DEFAULT_FABRIC,
+    tuning: TuningConfig = TUNED,
+    compute_scale: float | None = None,
+) -> Tuple[float, Dict[str, float]]:
+    """Execute one boundary-exchange step on the discrete-event engine.
+
+    Each rank: per-block compute kernels (with sends dispatched after
+    their block when send priority is on, or after all compute
+    otherwise), irecv+wait for every incoming neighbor message, then a
+    terminal allreduce.  Returns (wall seconds, mean phase seconds).
+    """
+    n_ranks = cluster.n_ranks
+    assignment = np.asarray(assignment, dtype=np.int64)
+    scale = (
+        cluster.machine.block_compute_s if compute_scale is None else compute_scale
+    )
+    w = graph.edge_weights(DEFAULT_MESSAGE_WEIGHTS)
+
+    # Per-rank block lists (SFC order) and per-rank message plans.
+    blocks_of: List[List[int]] = [[] for _ in range(n_ranks)]
+    for b, r in enumerate(assignment):
+        blocks_of[int(r)].append(b)
+    sends_of: List[List[Tuple[int, int, int, float]]] = [[] for _ in range(n_ranks)]
+    recvs_of: List[List[Tuple[int, int]]] = [[] for _ in range(n_ranks)]
+    tag = 0
+    for (a, b), size in zip(graph.edges, w):
+        ra, rb = int(assignment[a]), int(assignment[b])
+        if ra == rb:
+            continue
+        for src_b, rs, rd in ((int(a), ra, rb), (int(b), rb, ra)):
+            sends_of[rs].append((src_b, rd, tag, float(size)))
+            recvs_of[rd].append((rs, tag))
+            tag += 1
+
+    engine = Engine()
+    mpi = SimMPI(engine, cluster, fabric=fabric, tuning=tuning)
+
+    def program(rank: int) -> Generator:
+        reqs = [mpi.irecv(rank, src, t) for src, t in recvs_of[rank]]
+        pending = list(sends_of[rank])
+        for blk in blocks_of[rank]:
+            yield from mpi.compute(rank, float(costs[blk]) * scale)
+            if tuning.send_priority:
+                still = []
+                for src_b, rd, t, size in pending:
+                    if src_b == blk:
+                        mpi.isend(rank, rd, t, size)
+                    else:
+                        still.append((src_b, rd, t, size))
+                pending = still
+        for src_b, rd, t, size in pending:
+            mpi.isend(rank, rd, t, size)
+        yield from mpi.waitall(rank, reqs)
+        yield from mpi.allreduce(rank)
+
+    for r in range(n_ranks):
+        engine.spawn(program(r), name=f"rank{r}")
+    wall = engine.run()
+    phases = {
+        "compute": float(np.mean([p.compute_s for p in mpi.phases])),
+        "wait": float(np.mean([p.wait_s for p in mpi.phases])),
+        "sync": float(np.mean([p.sync_s for p in mpi.phases])),
+    }
+    return wall, phases
+
+
+def compare_models(
+    graph: NeighborGraph,
+    assignment: np.ndarray,
+    costs: np.ndarray,
+    cluster: Cluster,
+    fabric: FabricSpec = DEFAULT_FABRIC,
+    tuning: TuningConfig = TUNED,
+    n_steps: int = 5,
+    seed: int = 0,
+) -> DESComparison:
+    """Mean step time under DES vs the vectorized model.
+
+    The models share structure, not randomness, so agreement is expected
+    at the level of means, not per-step values.
+    """
+    des_walls = []
+    for _ in range(n_steps):
+        wall, phases = run_des_step(
+            graph, assignment, costs, cluster, fabric, tuning
+        )
+        des_walls.append(wall)
+    pattern = ExchangePattern.from_mesh(graph, assignment, costs, cluster, fabric)
+    model = BSPModel(cluster, fabric=fabric, tuning=tuning, seed=seed,
+                     exchange_rounds=1)
+    _, vec_wall = model.simulate_steps(pattern, n_steps, max_samples=n_steps)
+    return DESComparison(
+        des_wall_s=float(np.mean(des_walls)),
+        vectorized_wall_s=vec_wall / n_steps,
+        des_phase_means=phases,
+    )

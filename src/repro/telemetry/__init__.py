@@ -1,0 +1,66 @@
+"""Structured, queryable telemetry pipeline (paper §IV-C / Lesson 4).
+
+Collection (simulation hooks) → binary columnar storage with embedded
+statistics → vectorized query engine (fluent + SQL dialect) →
+diagnosis-oriented analytics (work↔time correlation, rankwise variance,
+straggler attribution, anomaly detectors).
+"""
+
+from .analysis import (
+    PhaseBreakdown,
+    phase_breakdown,
+    rankwise_variance,
+    straggler_attribution,
+    work_time_correlation,
+)
+from .anomaly import (
+    SpikeReport,
+    ThrottleReport,
+    detect_throttled_nodes,
+    detect_wait_spikes,
+)
+from .collector import TelemetryCollector
+from .dataset import Predicate, TelemetryDataset
+from .triggers import TriggerRule, TriggerSet, TriggeredCollector
+from .columnar import ColumnTable, read_stats, read_table, write_table
+from .compare import PhaseComparison, RunComparison, compare_runs
+from .tracefmt import EventTrace, TraceEvent, trace_to_table
+from .query import AGGREGATES, Query, sql
+from .report import Finding, RunReport, diagnose
+from .schema import EPOCH_SCHEMA, RANK_STEP_SCHEMA
+
+__all__ = [
+    "AGGREGATES",
+    "ColumnTable",
+    "EPOCH_SCHEMA",
+    "EventTrace",
+    "PhaseComparison",
+    "RunComparison",
+    "TraceEvent",
+    "compare_runs",
+    "trace_to_table",
+    "PhaseBreakdown",
+    "Predicate",
+    "TelemetryDataset",
+    "TriggerRule",
+    "TriggerSet",
+    "TriggeredCollector",
+    "Query",
+    "Finding",
+    "RunReport",
+    "diagnose",
+    "RANK_STEP_SCHEMA",
+    "SpikeReport",
+    "TelemetryCollector",
+    "ThrottleReport",
+    "detect_throttled_nodes",
+    "detect_wait_spikes",
+    "phase_breakdown",
+    "rankwise_variance",
+    "read_stats",
+    "read_table",
+    "sql",
+    "straggler_attribution",
+    "work_time_correlation",
+    "write_table",
+]

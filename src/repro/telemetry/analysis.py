@@ -1,0 +1,149 @@
+"""Telemetry analytics: correlation, variance, straggler attribution.
+
+These are the analyses the paper ran to (a) decide whether telemetry was
+trustworthy (work↔time correlation, Fig. 1a), (b) localize anomalies
+(per-rank variance, Fig. 3), and (c) attribute synchronization cost to
+stragglers (§IV-D).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .columnar import ColumnTable
+
+__all__ = [
+    "work_time_correlation",
+    "rankwise_variance",
+    "straggler_attribution",
+    "phase_breakdown",
+    "PhaseBreakdown",
+]
+
+
+def work_time_correlation(
+    table: ColumnTable,
+    work_col: str = "msgs_remote",
+    time_col: str = "comm_s",
+) -> float:
+    """Pearson correlation between a work metric and a time metric.
+
+    Computed across all (step, rank) rows.  The paper's tuning goal
+    (Fig. 1a): after removing system-level noise this correlation should
+    be strong; while anomalies persist it is weak or absent.  Returns 0
+    for degenerate (constant) inputs.
+    """
+    work = table[work_col].astype(np.float64)
+    t = table[time_col].astype(np.float64)
+    if work.size < 2 or work.std() == 0 or t.std() == 0:
+        return 0.0
+    return float(np.corrcoef(work, t)[0, 1])
+
+
+def rankwise_variance(table: ColumnTable, col: str = "comm_s") -> Dict[str, float]:
+    """Spread statistics of per-rank mean times (Fig. 3's y-axis).
+
+    Aggregates the column to per-rank means, then reports the spread of
+    those means plus the mean per-rank step-to-step standard deviation
+    (jitter).  Both shrink as tuning stages are applied.
+    """
+    ranks = table["rank"]
+    vals = table[col].astype(np.float64)
+    order = np.argsort(ranks, kind="stable")
+    r_sorted, v_sorted = ranks[order], vals[order]
+    change = np.ones(r_sorted.shape[0], dtype=bool)
+    change[1:] = r_sorted[1:] != r_sorted[:-1]
+    starts = np.nonzero(change)[0]
+    bounds = np.append(starts, r_sorted.shape[0])
+    counts = np.diff(bounds).astype(np.float64)
+    sums = np.add.reduceat(v_sorted, starts)
+    sqsums = np.add.reduceat(v_sorted**2, starts)
+    means = sums / counts
+    jitter = np.sqrt(np.maximum(sqsums / counts - means**2, 0.0))
+    return {
+        "across_rank_std": float(means.std()),
+        "across_rank_spread": float(means.max() - means.min()) if means.size else 0.0,
+        "mean_within_rank_jitter": float(jitter.mean()) if jitter.size else 0.0,
+        "mean": float(means.mean()) if means.size else 0.0,
+    }
+
+
+def straggler_attribution(table: ColumnTable, top_k: int = 10) -> ColumnTable:
+    """Which ranks most often finished last before synchronization.
+
+    For each step, the straggler is the rank with the maximal
+    ``compute_s + comm_s`` (the rank everyone else waited on in the
+    collective).  Returns per-rank straggler counts, descending —
+    clustered counts on the ranks of a few nodes are the thermal-throttle
+    signature of Fig. 2.
+    """
+    steps = table["step"]
+    ranks = table["rank"]
+    busy = (table["compute_s"] + table["comm_s"]).astype(np.float64)
+    order = np.lexsort((ranks, steps))
+    s_sorted, r_sorted, b_sorted = steps[order], ranks[order], busy[order]
+    change = np.ones(s_sorted.shape[0], dtype=bool)
+    change[1:] = s_sorted[1:] != s_sorted[:-1]
+    starts = np.nonzero(change)[0]
+    bounds = np.append(starts, s_sorted.shape[0])
+    counts: Dict[int, int] = {}
+    for i in range(starts.shape[0]):
+        seg = slice(bounds[i], bounds[i + 1])
+        winner = int(r_sorted[seg][np.argmax(b_sorted[seg])])
+        counts[winner] = counts.get(winner, 0) + 1
+    if not counts:
+        return ColumnTable({"rank": np.empty(0, np.int64), "straggler_steps": np.empty(0, np.int64)})
+    items = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:top_k]
+    return ColumnTable(
+        {
+            "rank": np.asarray([r for r, _ in items], dtype=np.int64),
+            "straggler_steps": np.asarray([c for _, c in items], dtype=np.int64),
+        }
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseBreakdown:
+    """Run-level phase decomposition (the Fig. 6a stacked bars)."""
+
+    compute: float
+    comm: float
+    sync: float
+    lb: float
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.comm + self.sync + self.lb
+
+    def fractions(self) -> Dict[str, float]:
+        t = self.total
+        if t == 0:
+            return {"compute": 0.0, "comm": 0.0, "sync": 0.0, "lb": 0.0}
+        return {
+            "compute": self.compute / t,
+            "comm": self.comm / t,
+            "sync": self.sync / t,
+            "lb": self.lb / t,
+        }
+
+    def row(self, label: str = "") -> str:
+        f = self.fractions()
+        return (
+            f"{label:<12} total={self.total:10.1f} "
+            f"comp={f['compute']:6.1%} comm={f['comm']:6.1%} "
+            f"sync={f['sync']:6.1%} lb={f['lb']:6.1%}"
+        )
+
+
+def phase_breakdown(table: ColumnTable) -> PhaseBreakdown:
+    """Weighted phase totals (rank-seconds) from a rank-step table."""
+    w = table["weight"] if "weight" in table else np.ones(table.n_rows)
+    return PhaseBreakdown(
+        compute=float((table["compute_s"] * w).sum()),
+        comm=float((table["comm_s"] * w).sum()),
+        sync=float((table["sync_s"] * w).sum()),
+        lb=float((table["lb_s"] * w).sum()) if "lb_s" in table else 0.0,
+    )

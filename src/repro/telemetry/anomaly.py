@@ -1,0 +1,111 @@
+"""Anomaly detectors for cross-stack performance artifacts (paper §IV).
+
+Two detectors matching the paper's two headline anomalies:
+
+* :func:`detect_throttled_nodes` — fail-slow hardware: ranks whose
+  compute time is a large multiple of the population median, appearing
+  in whole-node groups (Fig. 2's "clusters of 16");
+* :func:`detect_wait_spikes` — transient MPI_Wait/comm spikes: per-rank
+  robust outlier detection (median + k·MAD) that survives the
+  aggregation which hides spikes from profilers (§IV-B implications).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from .columnar import ColumnTable
+
+__all__ = [
+    "ThrottleReport",
+    "SpikeReport",
+    "detect_throttled_nodes",
+    "detect_wait_spikes",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class ThrottleReport:
+    """Outcome of fail-slow node detection."""
+
+    throttled_nodes: List[int]
+    slowdown_by_node: np.ndarray       #: per-node mean compute slowdown
+    median_compute_s: float
+
+    @property
+    def any(self) -> bool:
+        return bool(self.throttled_nodes)
+
+
+def detect_throttled_nodes(
+    table: ColumnTable,
+    ranks_per_node: int,
+    slowdown_threshold: float = 2.0,
+) -> ThrottleReport:
+    """Find nodes whose ranks' compute time is inflated vs the median.
+
+    Aggregates per-rank mean compute, normalizes by the population
+    median, averages per node, and flags nodes above the threshold.
+    Node-level averaging is what turns a noisy per-rank signal into the
+    unmistakable clusters-of-16 signature.
+    """
+    if ranks_per_node < 1:
+        raise ValueError("ranks_per_node must be >= 1")
+    ranks = table["rank"]
+    comp = table["compute_s"].astype(np.float64)
+    n_ranks = int(ranks.max()) + 1 if ranks.size else 0
+    if n_ranks == 0:
+        return ThrottleReport([], np.empty(0), 0.0)
+    sums = np.bincount(ranks, weights=comp, minlength=n_ranks)
+    counts = np.maximum(np.bincount(ranks, minlength=n_ranks), 1)
+    rank_mean = sums / counts
+    med = float(np.median(rank_mean))
+    if med <= 0:
+        return ThrottleReport([], np.empty(0), med)
+    n_nodes = -(-n_ranks // ranks_per_node)
+    node_of = np.arange(n_ranks) // ranks_per_node
+    node_slow = np.bincount(node_of, weights=rank_mean / med, minlength=n_nodes)
+    node_cnt = np.maximum(np.bincount(node_of, minlength=n_nodes), 1)
+    node_slow = node_slow / node_cnt
+    bad = np.nonzero(node_slow > slowdown_threshold)[0]
+    return ThrottleReport([int(b) for b in bad], node_slow, med)
+
+
+@dataclasses.dataclass(frozen=True)
+class SpikeReport:
+    """Outcome of transient-spike detection on a time series column."""
+
+    n_spikes: int
+    spike_rows: np.ndarray     #: row indices of spikes in the input table
+    threshold_s: float
+    baseline_s: float          #: robust center (median)
+
+    @property
+    def any(self) -> bool:
+        return self.n_spikes > 0
+
+
+def detect_wait_spikes(
+    table: ColumnTable,
+    col: str = "comm_s",
+    k_mad: float = 8.0,
+    min_spike_s: float = 0.0,
+) -> SpikeReport:
+    """Robust outlier detection: rows with ``col > median + k * MAD``.
+
+    MAD-based thresholds keep working when spikes are rare and huge
+    (mean/std would be dragged by the spikes themselves, which is why
+    aggregate profiles miss them).  ``min_spike_s`` additionally floors
+    the threshold for nearly-constant baselines.
+    """
+    vals = table[col].astype(np.float64)
+    if vals.size == 0:
+        return SpikeReport(0, np.empty(0, dtype=np.int64), 0.0, 0.0)
+    med = float(np.median(vals))
+    mad = float(np.median(np.abs(vals - med)))
+    thresh = max(med + k_mad * max(mad, 1e-12), med + min_spike_s)
+    rows = np.nonzero(vals > thresh)[0]
+    return SpikeReport(int(rows.shape[0]), rows, thresh, med)

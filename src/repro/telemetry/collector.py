@@ -1,0 +1,155 @@
+"""In-simulation telemetry collection.
+
+The collector plays the role of the paper's custom MPI/Kokkos profiling
+hooks (§IV-C): the simulation driver calls :meth:`record_step` /
+:meth:`record_epoch` as it executes, and the collector accumulates
+columnar buffers that finalize into
+:class:`~repro.telemetry.columnar.ColumnTable` instances for querying
+or binary persistence.
+
+Per-step records at full scale are enormous (53k steps x 4096 ranks);
+like the driver, the collector supports *sampled* steps whose phase
+values represent per-step means for their epoch — the ``weight`` column
+says how many real steps a row stands for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .columnar import ColumnTable
+
+__all__ = ["TelemetryCollector"]
+
+
+class TelemetryCollector:
+    """Accumulates rank-step and epoch telemetry for one simulated run."""
+
+    def __init__(self, n_ranks: int, ranks_per_node: int) -> None:
+        if n_ranks < 1 or ranks_per_node < 1:
+            raise ValueError("n_ranks and ranks_per_node must be >= 1")
+        self.n_ranks = n_ranks
+        self.ranks_per_node = ranks_per_node
+        self._rank_ids = np.arange(n_ranks, dtype=np.int64)
+        self._node_ids = self._rank_ids // ranks_per_node
+        self._steps: Dict[str, List[np.ndarray]] = {
+            k: []
+            for k in (
+                "step", "epoch", "rank", "node", "compute_s", "comm_s",
+                "sync_s", "lb_s", "n_blocks", "load", "msgs_local",
+                "msgs_remote", "weight",
+            )
+        }
+        self._epochs: Dict[str, List[float]] = {
+            k: []
+            for k in (
+                "epoch", "step_start", "n_steps", "n_blocks", "n_refined",
+                "n_coarsened", "placement_s", "migration_blocks", "epoch_wall_s",
+            )
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def record_step(
+        self,
+        step: int,
+        epoch: int,
+        compute_s: np.ndarray,
+        comm_s: np.ndarray,
+        sync_s: np.ndarray,
+        lb_s: np.ndarray | float = 0.0,
+        n_blocks: np.ndarray | None = None,
+        load: np.ndarray | None = None,
+        msgs_local: np.ndarray | None = None,
+        msgs_remote: np.ndarray | None = None,
+        weight: float = 1.0,
+    ) -> None:
+        """Record one (possibly representative) step for all ranks.
+
+        ``weight`` is the number of real timesteps this row represents
+        (epoch sampling); aggregate queries multiply by it.
+        """
+        n = self.n_ranks
+
+        def vec(x, dtype=np.float64):
+            if x is None:
+                return np.zeros(n, dtype=dtype)
+            x = np.asarray(x)
+            if x.ndim == 0:
+                return np.full(n, x, dtype=dtype)
+            if x.shape != (n,):
+                raise ValueError(f"per-rank array has shape {x.shape}, expected ({n},)")
+            return x.astype(dtype, copy=False)
+
+        s = self._steps
+        s["step"].append(np.full(n, step, dtype=np.int64))
+        s["epoch"].append(np.full(n, epoch, dtype=np.int64))
+        s["rank"].append(self._rank_ids)
+        s["node"].append(self._node_ids)
+        s["compute_s"].append(vec(compute_s))
+        s["comm_s"].append(vec(comm_s))
+        s["sync_s"].append(vec(sync_s))
+        s["lb_s"].append(vec(lb_s))
+        s["n_blocks"].append(vec(n_blocks, np.int64))
+        s["load"].append(vec(load))
+        s["msgs_local"].append(vec(msgs_local, np.int64))
+        s["msgs_remote"].append(vec(msgs_remote, np.int64))
+        s["weight"].append(np.full(n, weight, dtype=np.float64))
+
+    def record_epoch(
+        self,
+        epoch: int,
+        step_start: int,
+        n_steps: int,
+        n_blocks: int,
+        n_refined: int,
+        n_coarsened: int,
+        placement_s: float,
+        migration_blocks: int,
+        epoch_wall_s: float,
+    ) -> None:
+        e = self._epochs
+        e["epoch"].append(epoch)
+        e["step_start"].append(step_start)
+        e["n_steps"].append(n_steps)
+        e["n_blocks"].append(n_blocks)
+        e["n_refined"].append(n_refined)
+        e["n_coarsened"].append(n_coarsened)
+        e["placement_s"].append(placement_s)
+        e["migration_blocks"].append(migration_blocks)
+        e["epoch_wall_s"].append(epoch_wall_s)
+
+    # ------------------------------------------------------------------ #
+
+    def steps_table(self) -> ColumnTable:
+        """Finalize the rank-step telemetry into a columnar table."""
+        cols = {}
+        for name, chunks in self._steps.items():
+            cols[name] = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
+            )
+        return ColumnTable(cols)
+
+    def epochs_table(self) -> ColumnTable:
+        cols = {}
+        int_cols = {
+            "epoch", "step_start", "n_steps", "n_blocks",
+            "n_refined", "n_coarsened", "migration_blocks",
+        }
+        for name, vals in self._epochs.items():
+            dtype = np.int64 if name in int_cols else np.float64
+            cols[name] = np.asarray(vals, dtype=dtype)
+        return ColumnTable(cols)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Weighted rank-second totals per phase across the whole run."""
+        t = self.steps_table()
+        w = t["weight"]
+        return {
+            "compute": float((t["compute_s"] * w).sum()),
+            "comm": float((t["comm_s"] * w).sum()),
+            "sync": float((t["sync_s"] * w).sum()),
+            "lb": float((t["lb_s"] * w).sum()),
+        }

@@ -1,0 +1,161 @@
+"""Partitioned telemetry datasets with predicate pushdown (Lesson 4).
+
+Lesson 4 recommends "binary columnar formats ... with embedded
+statistics over partitioned data" for low-latency BSP telemetry.  A
+:class:`TelemetryDataset` is a directory of columnar files — one per
+partition (typically one per epoch or per run segment) — plus a JSON
+manifest.  Reads take simple predicates and use each file's *embedded
+column statistics* to skip partitions without touching their payload:
+the Parquet trick that makes interactive diagnosis possible at scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .columnar import ColumnTable, read_stats, read_table, write_table
+
+__all__ = ["Predicate", "TelemetryDataset"]
+
+_MANIFEST = "manifest.json"
+
+
+@dataclasses.dataclass(frozen=True)
+class Predicate:
+    """A pushdown-able range predicate: ``lo <= column <= hi``.
+
+    Either bound may be ``None`` (unbounded).  A partition whose
+    embedded ``[min, max]`` for the column cannot intersect the range
+    is skipped entirely.
+    """
+
+    column: str
+    lo: Optional[float] = None
+    hi: Optional[float] = None
+
+    def might_match(self, stats: Dict[str, Tuple[float, float]]) -> bool:
+        if self.column not in stats:
+            return True  # unknown column: cannot prune safely
+        cmin, cmax = stats[self.column]
+        if math.isnan(cmin):
+            return False  # empty partition
+        if self.lo is not None and cmax < self.lo:
+            return False
+        if self.hi is not None and cmin > self.hi:
+            return False
+        return True
+
+    def mask(self, table: ColumnTable) -> np.ndarray:
+        col = table[self.column]
+        m = np.ones(table.n_rows, dtype=bool)
+        if self.lo is not None:
+            m &= col >= self.lo
+        if self.hi is not None:
+            m &= col <= self.hi
+        return m
+
+
+class TelemetryDataset:
+    """A directory of columnar partitions with a manifest.
+
+    Usage::
+
+        ds = TelemetryDataset.create(path)
+        ds.append(table, label="epoch-0")
+        ...
+        hot = ds.read(predicates=[Predicate("comm_s", lo=0.01)])
+    """
+
+    def __init__(self, root: Path, manifest: dict) -> None:
+        self.root = root
+        self._manifest = manifest
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, root: str | Path) -> "TelemetryDataset":
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest = {"partitions": []}
+        (root / _MANIFEST).write_text(json.dumps(manifest))
+        return cls(root, manifest)
+
+    @classmethod
+    def open(cls, root: str | Path) -> "TelemetryDataset":
+        root = Path(root)
+        manifest_path = root / _MANIFEST
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"no telemetry dataset at {root}")
+        return cls(root, json.loads(manifest_path.read_text()))
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self._manifest["partitions"])
+
+    def append(self, table: ColumnTable, label: str | None = None) -> str:
+        """Write a table as a new partition; returns its file name."""
+        idx = self.n_partitions
+        name = f"part-{idx:05d}.rprc"
+        write_table(table, self.root / name)
+        self._manifest["partitions"].append(
+            {"file": name, "label": label or f"part-{idx}", "n_rows": table.n_rows}
+        )
+        (self.root / _MANIFEST).write_text(json.dumps(self._manifest))
+        return name
+
+    def read(
+        self,
+        predicates: Sequence[Predicate] = (),
+        columns: Sequence[str] | None = None,
+    ) -> ColumnTable:
+        """Read matching rows across partitions with file-level pruning.
+
+        Partitions whose embedded stats rule out every predicate are
+        skipped without reading their payload; surviving partitions are
+        filtered row-wise and concatenated.
+        """
+        tables: List[ColumnTable] = []
+        for part in self._manifest["partitions"]:
+            path = self.root / part["file"]
+            stats = read_stats(path)
+            if not all(p.might_match(stats) for p in predicates):
+                continue
+            t = read_table(path, columns=None)  # need predicate columns too
+            if predicates:
+                mask = np.ones(t.n_rows, dtype=bool)
+                for p in predicates:
+                    mask &= p.mask(t)
+                t = t.filter(mask)
+            if columns is not None:
+                t = t.select(list(columns))
+            tables.append(t)
+        if not tables:
+            raise LookupError("no partition matches the given predicates")
+        out = tables[0]
+        for t in tables[1:]:
+            out = out.concat(t)
+        return out
+
+    def pruned_partitions(self, predicates: Sequence[Predicate]) -> List[str]:
+        """Which partitions pruning would skip (for tests/diagnostics)."""
+        skipped = []
+        for part in self._manifest["partitions"]:
+            stats = read_stats(self.root / part["file"])
+            if not all(p.might_match(stats) for p in predicates):
+                skipped.append(part["file"])
+        return skipped
+
+    def labels(self) -> List[str]:
+        return [p["label"] for p in self._manifest["partitions"]]
+
+    def __repr__(self) -> str:
+        rows = sum(p["n_rows"] for p in self._manifest["partitions"])
+        return f"TelemetryDataset({self.root}, partitions={self.n_partitions}, rows={rows})"

@@ -1,0 +1,251 @@
+"""Query engine over columnar telemetry (paper §IV-C / Lesson 4).
+
+Two interfaces over :class:`~repro.telemetry.columnar.ColumnTable`:
+
+* a fluent builder — ``Query(t).where("rank", "<", 16).group_by("step")
+  .agg(("comm_s", "mean"), ("comm_s", "p99")).run()``;
+* a small SQL dialect — ``sql(t, "SELECT rank, mean(comm_s) FROM t
+  WHERE step >= 100 GROUP BY rank ORDER BY mean_comm_s DESC LIMIT 10")``
+  — mirroring how the paper's diagnosis settled on "SQL over telemetry
+  grouped by timestep and sorted by rank".
+
+Group-by is vectorized: composite keys via ``np.unique(return_inverse)``
+and aggregation via sorted ``reduceat`` — no per-group Python loops, so
+million-row tables stay interactive (the low-latency property Lesson 4
+calls essential for hypothesis-driven exploration).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .columnar import ColumnTable
+
+__all__ = ["Query", "sql", "AGGREGATES"]
+
+
+def _agg_quantile(q: float) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    def fn(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        out = np.empty(starts.shape[0], dtype=np.float64)
+        bounds = np.append(starts, sorted_vals.shape[0])
+        for i in range(starts.shape[0]):
+            out[i] = np.quantile(sorted_vals[bounds[i]:bounds[i + 1]], q)
+        return out
+
+    return fn
+
+
+def _reduceat(op) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    def fn(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        return op.reduceat(sorted_vals, starts)
+
+    return fn
+
+
+def _agg_mean(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    sums = np.add.reduceat(sorted_vals, starts)
+    counts = np.diff(np.append(starts, sorted_vals.shape[0]))
+    return sums / counts
+
+
+def _agg_count(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    return np.diff(np.append(starts, sorted_vals.shape[0])).astype(np.int64)
+
+
+def _agg_std(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    bounds = np.append(starts, sorted_vals.shape[0])
+    counts = np.diff(bounds).astype(np.float64)
+    sums = np.add.reduceat(sorted_vals, starts)
+    sqsums = np.add.reduceat(sorted_vals.astype(np.float64) ** 2, starts)
+    var = np.maximum(sqsums / counts - (sums / counts) ** 2, 0.0)
+    return np.sqrt(var)
+
+
+#: name -> group-aggregation function over (group-sorted values, group starts)
+AGGREGATES: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": _reduceat(np.add),
+    "min": _reduceat(np.minimum),
+    "max": _reduceat(np.maximum),
+    "mean": _agg_mean,
+    "count": _agg_count,
+    "std": _agg_std,
+    "p50": _agg_quantile(0.50),
+    "p95": _agg_quantile(0.95),
+    "p99": _agg_quantile(0.99),
+}
+
+_OPS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "==": lambda c, v: c == v,
+    "!=": lambda c, v: c != v,
+    "<": lambda c, v: c < v,
+    "<=": lambda c, v: c <= v,
+    ">": lambda c, v: c > v,
+    ">=": lambda c, v: c >= v,
+}
+
+
+class Query:
+    """Composable filter / group-by / aggregate over a ColumnTable."""
+
+    def __init__(self, table: ColumnTable) -> None:
+        self.table = table
+        self._mask: np.ndarray | None = None
+        self._group: List[str] = []
+        self._aggs: List[Tuple[str, str]] = []
+        self._order: Tuple[str, bool] | None = None
+        self._limit: int | None = None
+
+    def where(self, column: str, op: str, value: float) -> "Query":
+        """Add a conjunctive predicate (``column <op> value``)."""
+        if op not in _OPS:
+            raise ValueError(f"unknown operator {op!r}; known: {sorted(_OPS)}")
+        m = _OPS[op](self.table[column], value)
+        self._mask = m if self._mask is None else (self._mask & m)
+        return self
+
+    def group_by(self, *columns: str) -> "Query":
+        for c in columns:
+            _ = self.table[c]  # validate eagerly
+        self._group = list(columns)
+        return self
+
+    def agg(self, *specs: Tuple[str, str]) -> "Query":
+        """Add aggregations as ``(column, func)`` pairs.
+
+        Output columns are named ``{func}_{column}``.
+        """
+        for col, fn in specs:
+            _ = self.table[col]
+            if fn not in AGGREGATES:
+                raise ValueError(f"unknown aggregate {fn!r}; known: {sorted(AGGREGATES)}")
+        self._aggs.extend(specs)
+        return self
+
+    def order_by(self, column: str, desc: bool = False) -> "Query":
+        self._order = (column, desc)
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise ValueError("limit must be >= 0")
+        self._limit = n
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> ColumnTable:
+        """Execute: filter → group/aggregate → order → limit."""
+        t = self.table if self._mask is None else self.table.filter(self._mask)
+
+        if self._group or self._aggs:
+            t = self._grouped(t)
+
+        if self._order is not None:
+            col, desc = self._order
+            order = np.argsort(t[col], kind="stable")
+            if desc:
+                order = order[::-1]
+            t = t.filter(order)
+        if self._limit is not None:
+            t = t.head(self._limit)
+        return t
+
+    def _grouped(self, t: ColumnTable) -> ColumnTable:
+        if not self._aggs:
+            raise ValueError("group_by requires at least one agg()")
+        n = t.n_rows
+        if self._group:
+            keys = np.stack([t[c] for c in self._group], axis=1)
+            # Composite key via structured view-free lexsort + unique rows.
+            order = np.lexsort(tuple(t[c] for c in reversed(self._group)))
+            sorted_keys = keys[order]
+            change = np.ones(n, dtype=bool)
+            if n > 1:
+                change[1:] = np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1)
+            starts = np.nonzero(change)[0] if n else np.empty(0, dtype=np.int64)
+            out: Dict[str, np.ndarray] = {
+                c: sorted_keys[starts, i] for i, c in enumerate(self._group)
+            }
+        else:
+            order = np.arange(n)
+            starts = np.zeros(1 if n else 0, dtype=np.int64)
+            out = {}
+        for col, fn in self._aggs:
+            vals = t[col][order].astype(np.float64, copy=False)
+            name = f"{fn}_{col}"
+            if n:
+                out[name] = AGGREGATES[fn](vals, starts)
+            else:
+                out[name] = np.empty(0, dtype=np.float64)
+        return ColumnTable(out)
+
+
+# ---------------------------------------------------------------------- #
+# tiny SQL dialect
+# ---------------------------------------------------------------------- #
+
+_SQL_RE = re.compile(
+    r"^\s*SELECT\s+(?P<select>.+?)\s+FROM\s+\w+"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?"
+    r"(?:\s+GROUP\s+BY\s+(?P<group>.+?))?"
+    r"(?:\s+ORDER\s+BY\s+(?P<order>.+?))?"
+    r"(?:\s+LIMIT\s+(?P<limit>\d+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_AGG_RE = re.compile(r"^(?P<fn>\w+)\(\s*(?P<col>\w+)\s*\)$")
+_PRED_RE = re.compile(r"^(?P<col>\w+)\s*(?P<op>==|!=|<=|>=|<|>|=)\s*(?P<val>[-+.\w]+)$")
+
+
+def sql(table: ColumnTable, statement: str) -> ColumnTable:
+    """Execute a single SELECT statement against a table.
+
+    Grammar: ``SELECT item[, ...] FROM <any name> [WHERE pred [AND ...]]
+    [GROUP BY col[, ...]] [ORDER BY col [DESC]] [LIMIT n]`` where an item
+    is a column name or ``fn(column)`` with ``fn`` in
+    :data:`AGGREGATES`, and predicates compare a column to a literal.
+    """
+    m = _SQL_RE.match(statement)
+    if not m:
+        raise ValueError(f"cannot parse SQL: {statement!r}")
+    q = Query(table)
+
+    if m.group("where"):
+        for pred in re.split(r"\s+AND\s+", m.group("where"), flags=re.IGNORECASE):
+            pm = _PRED_RE.match(pred.strip())
+            if not pm:
+                raise ValueError(f"cannot parse predicate {pred!r}")
+            op = "==" if pm.group("op") == "=" else pm.group("op")
+            q.where(pm.group("col"), op, float(pm.group("val")))
+
+    plain_cols: List[str] = []
+    for item in (s.strip() for s in m.group("select").split(",")):
+        if item == "*":
+            plain_cols.extend(table.names)
+            continue
+        am = _AGG_RE.match(item)
+        if am:
+            q.agg((am.group("col"), am.group("fn").lower()))
+        else:
+            plain_cols.append(item)
+
+    if m.group("group"):
+        q.group_by(*[c.strip() for c in m.group("group").split(",")])
+    elif q._aggs and plain_cols:
+        # e.g. SELECT rank, mean(x) — implicit group by the plain columns
+        q.group_by(*plain_cols)
+
+    if m.group("order"):
+        spec = m.group("order").strip()
+        desc = bool(re.search(r"\s+DESC$", spec, re.IGNORECASE))
+        col = re.sub(r"\s+(DESC|ASC)$", "", spec, flags=re.IGNORECASE).strip()
+        q.order_by(col, desc=desc)
+    if m.group("limit"):
+        q.limit(int(m.group("limit")))
+
+    result = q.run()
+    if not q._aggs and plain_cols:
+        result = result.select(plain_cols)
+    return result

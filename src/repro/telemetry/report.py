@@ -1,0 +1,197 @@
+"""Automated run-diagnosis reports (the paper's workflow, distilled).
+
+§IV's diagnosis loop — phase breakdown, work↔time correlation,
+straggler attribution, anomaly detection — applied automatically to a
+run's telemetry, producing a text report with *actionable findings*
+ranked the way the paper's lessons rank them: hardware first (Lesson 1:
+"placement cannot compensate for unstable system behavior"), then
+stack tuning, then placement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from .analysis import (
+    PhaseBreakdown,
+    phase_breakdown,
+    rankwise_variance,
+    straggler_attribution,
+    work_time_correlation,
+)
+from .anomaly import detect_throttled_nodes, detect_wait_spikes
+from .columnar import ColumnTable
+
+__all__ = ["Finding", "RunReport", "diagnose"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One diagnosis finding with severity and a recommendation."""
+
+    severity: str          # "critical" | "warning" | "info"
+    category: str          # "hardware" | "stack" | "placement" | "telemetry"
+    message: str
+    recommendation: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.upper():8s}] {self.message}\n" \
+               f"           -> {self.recommendation}"
+
+
+@dataclasses.dataclass
+class RunReport:
+    """A complete diagnosis of one run's rank-step telemetry."""
+
+    phases: PhaseBreakdown
+    correlation: float
+    findings: List[Finding]
+    straggler_table: ColumnTable
+
+    @property
+    def healthy(self) -> bool:
+        return not any(f.severity == "critical" for f in self.findings)
+
+    def text(self) -> str:
+        lines = ["=== run diagnosis report ==="]
+        f = self.phases.fractions()
+        lines.append(
+            f"phases: compute {f['compute']:.0%}, comm {f['comm']:.0%}, "
+            f"sync {f['sync']:.0%}, lb {f['lb']:.0%}"
+        )
+        lines.append(f"work<->comm-time correlation: {self.correlation:+.2f}")
+        if self.findings:
+            lines.append("")
+            for finding in self.findings:
+                lines.append(str(finding))
+        else:
+            lines.append("no findings — telemetry clean")
+        if self.straggler_table.n_rows:
+            lines.append("\ntop stragglers:")
+            lines.append(self.straggler_table.pretty(5))
+        return "\n".join(lines)
+
+
+def diagnose(
+    table: ColumnTable,
+    ranks_per_node: int = 16,
+    sync_fraction_warn: float = 0.35,
+    correlation_floor: float = 0.5,
+) -> RunReport:
+    """Analyze a rank-step telemetry table and produce a report.
+
+    The findings encode the paper's decision order:
+
+    1. throttled nodes (Lesson 1): fix hardware before anything else;
+    2. MPI_Wait spikes (Fig. 1b): a stack artifact, not load imbalance;
+    3. weak work↔time correlation (Fig. 1a): telemetry untrustworthy —
+       tune before modeling;
+    4. high sync with *clustered* stragglers vs *dispersed* stragglers:
+       the former points at hardware/system, the latter at placement.
+    """
+    findings: List[Finding] = []
+    phases = phase_breakdown(table)
+    fr = phases.fractions()
+
+    throttle = detect_throttled_nodes(table, ranks_per_node)
+    if throttle.any:
+        findings.append(
+            Finding(
+                "critical", "hardware",
+                f"node-level compute inflation on node(s) "
+                f"{throttle.throttled_nodes} (clusters of {ranks_per_node} "
+                f"ranks) — thermal throttling signature",
+                "prune/blacklist the nodes and re-run health checks "
+                "(paper §IV-A); do not tune placement against this",
+            )
+        )
+
+    spikes = detect_wait_spikes(table, "comm_s", k_mad=12.0, min_spike_s=5e-3)
+    spike_rate = spikes.n_spikes / max(table.n_rows, 1)
+    if spikes.n_spikes > 0 and spike_rate > 1e-4:
+        findings.append(
+            Finding(
+                "warning", "stack",
+                f"{spikes.n_spikes} MPI_Wait spikes above "
+                f"{spikes.threshold_s * 1e3:.1f} ms "
+                f"(baseline {spikes.baseline_s * 1e3:.2f} ms)",
+                "check fabric ACK-recovery behaviour; enable the drain "
+                "queue (paper Fig. 1b)",
+            )
+        )
+
+    msgs_total = None
+    if "msgs_local" in table and "msgs_remote" in table:
+        msgs_total = table["msgs_local"] + table["msgs_remote"]
+        work_table = table.with_column("msgs_total", msgs_total)
+        corr = work_time_correlation(work_table, "msgs_total", "comm_s")
+    else:
+        corr = work_time_correlation(table)
+    has_comm_signal = (
+        float(table["comm_s"].sum()) > 0
+        and (msgs_total is None or int(msgs_total.sum()) > 0)
+    )
+    if corr < correlation_floor and has_comm_signal and not throttle.any:
+        findings.append(
+            Finding(
+                "warning", "telemetry",
+                f"communication time poorly correlated with message volume "
+                f"(r = {corr:+.2f})",
+                "telemetry is not yet trustworthy for modeling: tune the "
+                "stack (queue sizes, send priority) before fitting "
+                "placement to it (paper Fig. 1a / Lesson 2)",
+            )
+        )
+
+    stragglers = straggler_attribution(table, top_k=10)
+    if fr["sync"] > sync_fraction_warn and not throttle.any:
+        # Distinguish hardware from placement the way the paper did:
+        # normalize the straggler's compute time by its *assigned work*.
+        # A rank that is slow per unit of work is a system problem; a
+        # rank that is slow because it owns more work is a placement
+        # problem.
+        hardware_suspect = False
+        detail = ""
+        if "load" in table and stragglers.n_rows:
+            worst = int(stragglers["rank"][0])
+            ranks = table["rank"]
+            comp = table["compute_s"].astype(np.float64)
+            load = np.maximum(table["load"].astype(np.float64), 1e-12)
+            ratio = comp / load
+            worst_ratio = float(np.median(ratio[ranks == worst]))
+            pop_ratio = float(np.median(ratio))
+            hardware_suspect = worst_ratio > 1.5 * pop_ratio
+            detail = (
+                f" (rank {worst}: {worst_ratio / pop_ratio:.1f}x the "
+                f"population's time-per-work)"
+            )
+        if hardware_suspect:
+            findings.append(
+                Finding(
+                    "warning", "hardware",
+                    f"synchronization {fr['sync']:.0%} of runtime, led by a "
+                    f"rank that is slow per unit of work{detail}",
+                    "a per-work slowdown is a system signature — inspect "
+                    "that rank's node before rebalancing (Lesson 1)",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    "info", "placement",
+                    f"synchronization {fr['sync']:.0%} of runtime; straggler "
+                    f"compute is proportional to assigned work{detail}",
+                    "genuine load imbalance: feed measured block costs to a "
+                    "balancing policy (CPLX; paper §V)",
+                )
+            )
+
+    return RunReport(
+        phases=phases,
+        correlation=corr,
+        findings=findings,
+        straggler_table=stragglers,
+    )

@@ -1,0 +1,164 @@
+"""Event-trace format and conversion to structured tables (§IV-C).
+
+The paper's workflow began with standard tracing (TAU → OTF2/CSV) and
+hit a wall: "unstructured, high-volume output ... unsuited for
+query-driven diagnosis".  This module reproduces that migration path:
+
+* :class:`EventTrace` — a classic enter/leave/send/recv event trace
+  (the OTF2/Chrome-trace shape), with JSON-lines serialization;
+* :func:`trace_to_table` — the *conversion step the paper had to
+  build*: fold raw events into the per-(step, rank) phase table the
+  query engine operates on.
+
+The benches use it to show the storage/latency gap between trace-shaped
+and columnar telemetry for the same information.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from .columnar import ColumnTable
+
+__all__ = ["TraceEvent", "EventTrace", "trace_to_table"]
+
+#: canonical region names for BSP phase attribution
+_PHASE_OF_REGION = {
+    "compute": "compute_s",
+    "boundary_exchange": "comm_s",
+    "mpi_wait": "comm_s",
+    "mpi_allreduce": "sync_s",
+    "redistribution": "lb_s",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: ENTER/LEAVE of a region on a rank.
+
+    ``meta`` carries free-form attributes (step number, message peer,
+    bytes) — exactly the loosely-typed payload that makes raw traces
+    painful to query.
+    """
+
+    kind: str            # "ENTER" | "LEAVE"
+    rank: int
+    region: str
+    time_s: float
+    meta: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "k": self.kind,
+                "r": self.rank,
+                "g": self.region,
+                "t": self.time_s,
+                "m": self.meta,
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        d = json.loads(line)
+        return cls(kind=d["k"], rank=d["r"], region=d["g"], time_s=d["t"],
+                   meta=d.get("m", {}))
+
+
+class EventTrace:
+    """An append-only event trace with JSON-lines persistence."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def enter(self, rank: int, region: str, time_s: float, **meta) -> None:
+        self.events.append(TraceEvent("ENTER", rank, region, time_s, dict(meta)))
+
+    def leave(self, rank: int, region: str, time_s: float, **meta) -> None:
+        self.events.append(TraceEvent("LEAVE", rank, region, time_s, dict(meta)))
+
+    def record_region(
+        self, rank: int, region: str, t0: float, t1: float, **meta
+    ) -> None:
+        """Convenience: paired enter/leave."""
+        if t1 < t0:
+            raise ValueError(f"region {region} leaves before entering")
+        self.enter(rank, region, t0, **meta)
+        self.leave(rank, region, t1, **meta)
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Persist as JSON lines; returns bytes written."""
+        text = "\n".join(e.to_json() for e in self.events)
+        data = text.encode()
+        Path(path).write_bytes(data)
+        return len(data)
+
+    @classmethod
+    def read_jsonl(cls, path: str | Path) -> "EventTrace":
+        trace = cls()
+        for line in Path(path).read_text().splitlines():
+            if line.strip():
+                trace.events.append(TraceEvent.from_json(line))
+        return trace
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def trace_to_table(trace: EventTrace) -> ColumnTable:
+    """Fold an event trace into the per-(step, rank) phase table.
+
+    Region durations are attributed to the phase columns via the region
+    name (compute / boundary_exchange / mpi_wait / mpi_allreduce /
+    redistribution); the ``step`` comes from the event metadata.
+    Unpaired or unknown-region events raise — silent drops are how trace
+    analysis quietly lies.
+    """
+    # (rank, region, step) -> entry time stack
+    open_regions: Dict[Tuple[int, str, int], List[float]] = {}
+    acc: Dict[Tuple[int, int], Dict[str, float]] = {}
+
+    for ev in trace.events:
+        if ev.region not in _PHASE_OF_REGION:
+            raise ValueError(f"unknown region {ev.region!r} in trace")
+        step = int(ev.meta.get("step", -1))
+        if step < 0:
+            raise ValueError(f"event missing step metadata: {ev}")
+        key = (ev.rank, ev.region, step)
+        if ev.kind == "ENTER":
+            open_regions.setdefault(key, []).append(ev.time_s)
+        elif ev.kind == "LEAVE":
+            stack = open_regions.get(key)
+            if not stack:
+                raise ValueError(f"LEAVE without ENTER: {ev}")
+            t0 = stack.pop()
+            phase = _PHASE_OF_REGION[ev.region]
+            cell = acc.setdefault(
+                (step, ev.rank),
+                {"compute_s": 0.0, "comm_s": 0.0, "sync_s": 0.0, "lb_s": 0.0},
+            )
+            cell[phase] += ev.time_s - t0
+        else:
+            raise ValueError(f"unknown event kind {ev.kind!r}")
+
+    dangling = {k: v for k, v in open_regions.items() if v}
+    if dangling:
+        raise ValueError(f"unclosed regions in trace: {sorted(dangling)[:3]}")
+
+    keys = sorted(acc)
+    return ColumnTable(
+        {
+            "step": np.asarray([k[0] for k in keys], dtype=np.int64),
+            "rank": np.asarray([k[1] for k in keys], dtype=np.int64),
+            "compute_s": np.asarray([acc[k]["compute_s"] for k in keys]),
+            "comm_s": np.asarray([acc[k]["comm_s"] for k in keys]),
+            "sync_s": np.asarray([acc[k]["sync_s"] for k in keys]),
+            "lb_s": np.asarray([acc[k]["lb_s"] for k in keys]),
+        }
+    )

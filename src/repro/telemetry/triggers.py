@@ -1,0 +1,158 @@
+"""Programmable telemetry triggers (paper §IV-C).
+
+"As our needs evolved, we wanted programmable telemetry triggers based
+on reconstructed application state" — always-on fine-grained collection
+is too expensive, but aggregate profiles hide transients.  Triggers
+bridge the gap: cheap per-step summary rules decide *when* to keep the
+expensive per-rank detail.
+
+A :class:`TriggerSet` evaluates rules against each step's per-rank
+phase arrays; if any rule fires, the step's full detail is recorded
+(plus a configurable number of pre/post steps from a ring buffer, so
+the lead-up to an anomaly is captured — the eBPF-style capability the
+paper leaned on).
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .collector import TelemetryCollector
+
+__all__ = ["TriggerRule", "TriggerSet", "TriggeredCollector"]
+
+#: rule signature: (step_index, per-rank phase dict) -> fire?
+RuleFn = Callable[[int, Dict[str, np.ndarray]], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class TriggerRule:
+    """A named trigger predicate over one step's per-rank phases."""
+
+    name: str
+    fn: RuleFn
+
+    # ---- common rule constructors ------------------------------------ #
+
+    @staticmethod
+    def phase_above(phase: str, threshold_s: float, name: str | None = None) -> "TriggerRule":
+        """Fire when any rank's phase time exceeds a threshold."""
+
+        def fn(step: int, phases: Dict[str, np.ndarray]) -> bool:
+            return bool(np.max(phases[phase]) > threshold_s)
+
+        return TriggerRule(name or f"{phase}>{threshold_s:g}s", fn)
+
+    @staticmethod
+    def imbalance_above(phase: str, ratio: float, name: str | None = None) -> "TriggerRule":
+        """Fire when max/mean of a phase exceeds ``ratio``."""
+
+        def fn(step: int, phases: Dict[str, np.ndarray]) -> bool:
+            vals = phases[phase]
+            mean = float(vals.mean())
+            return mean > 0 and float(vals.max()) / mean > ratio
+
+        return TriggerRule(name or f"{phase} imbalance>{ratio:g}", fn)
+
+    @staticmethod
+    def every(n: int, name: str | None = None) -> "TriggerRule":
+        """Fire every ``n`` steps (periodic background sampling)."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+
+        def fn(step: int, phases: Dict[str, np.ndarray]) -> bool:
+            return step % n == 0
+
+        return TriggerRule(name or f"every-{n}", fn)
+
+
+class TriggerSet:
+    """A collection of rules; tracks per-rule fire counts."""
+
+    def __init__(self, rules: List[TriggerRule]) -> None:
+        self.rules = list(rules)
+        self.fire_counts: Dict[str, int] = {r.name: 0 for r in self.rules}
+
+    def evaluate(self, step: int, phases: Dict[str, np.ndarray]) -> List[str]:
+        """Names of the rules that fire for this step."""
+        fired = []
+        for rule in self.rules:
+            if rule.fn(step, phases):
+                self.fire_counts[rule.name] += 1
+                fired.append(rule.name)
+        return fired
+
+
+class TriggeredCollector:
+    """Records full per-rank detail only around triggered steps.
+
+    Wraps a :class:`TelemetryCollector`; un-triggered steps go into a
+    bounded ring buffer.  When a rule fires, the buffered lead-up (up to
+    ``pre_steps``) is flushed, the firing step is recorded, and the next
+    ``post_steps`` are recorded unconditionally.
+    """
+
+    def __init__(
+        self,
+        collector: TelemetryCollector,
+        triggers: TriggerSet,
+        pre_steps: int = 2,
+        post_steps: int = 2,
+    ) -> None:
+        if pre_steps < 0 or post_steps < 0:
+            raise ValueError("pre/post steps must be >= 0")
+        self.collector = collector
+        self.triggers = triggers
+        self.pre_steps = pre_steps
+        self.post_steps = post_steps
+        self._ring: Deque[Tuple[int, int, Dict[str, np.ndarray]]] = collections.deque(
+            maxlen=max(pre_steps, 1)
+        )
+        self._post_remaining = 0
+        self.steps_seen = 0
+        self.steps_recorded = 0
+
+    def observe(
+        self,
+        step: int,
+        epoch: int,
+        compute_s: np.ndarray,
+        comm_s: np.ndarray,
+        sync_s: np.ndarray,
+        **extra,
+    ) -> List[str]:
+        """Feed one step; returns names of rules that fired."""
+        self.steps_seen += 1
+        phases = {"compute_s": compute_s, "comm_s": comm_s, "sync_s": sync_s}
+        fired = self.triggers.evaluate(step, phases)
+
+        def record(s: int, e: int, ph: Dict[str, np.ndarray], **kw) -> None:
+            self.collector.record_step(
+                s, e, ph["compute_s"], ph["comm_s"], ph["sync_s"], **kw
+            )
+            self.steps_recorded += 1
+
+        if fired:
+            # Flush the buffered lead-up, oldest first.
+            while self._ring:
+                s, e, ph = self._ring.popleft()
+                record(s, e, ph)
+            record(step, epoch, phases, **extra)
+            self._post_remaining = self.post_steps
+        elif self._post_remaining > 0:
+            record(step, epoch, phases, **extra)
+            self._post_remaining -= 1
+        elif self.pre_steps > 0:
+            self._ring.append((step, epoch, dict(phases)))
+        return fired
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of steps whose detail was dropped (collection savings)."""
+        if self.steps_seen == 0:
+            return 0.0
+        return 1.0 - self.steps_recorded / self.steps_seen

@@ -1,0 +1,35 @@
+"""Shared test helpers (random structure generators)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.geometry import RootGrid
+from repro.mesh.octree import OctreeForest
+
+
+def random_forest(seed: int, n_ops: int = 12, dim: int = 2) -> OctreeForest:
+    """Randomly refined (and occasionally coarsened) valid forest."""
+    rng = np.random.default_rng(seed)
+    shape = (2,) * dim
+    forest = OctreeForest(RootGrid(shape), max_level=4)
+    for _ in range(n_ops):
+        leaves = sorted(forest.leaves(), key=lambda b: (b.level, b.coords))
+        if rng.random() < 0.75:
+            candidates = [b for b in leaves if b.level < forest.max_level]
+            if candidates:
+                forest.refine(candidates[int(rng.integers(len(candidates)))])
+        else:
+            candidates = [b for b in leaves if forest.can_coarsen(b)]
+            if candidates:
+                forest.coarsen(candidates[int(rng.integers(len(candidates)))])
+    return forest
+
+
+def random_edges(rng: np.random.Generator, n_blocks: int, factor: int = 2) -> np.ndarray:
+    """Random undirected deduplicated block-pair edges."""
+    e = rng.integers(0, n_blocks, size=(n_blocks * factor, 2))
+    e = e[e[:, 0] != e[:, 1]]
+    if len(e) == 0:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.unique(np.sort(e, axis=1), axis=0)

@@ -1,0 +1,192 @@
+"""Tests for the 2D Euler solver: Sod tube, blast, AMR coupling."""
+
+import numpy as np
+import pytest
+
+from repro.amr.hydro import (
+    EulerSolver2D,
+    EulerState,
+    blast_initial_state,
+    sod_initial_state,
+)
+from repro.mesh import AmrMesh, RootGrid
+
+
+def strip_mesh(nx=8, cells=16):
+    return AmrMesh(RootGrid((nx, 1)), block_cells=cells,
+                   domain_size=(1.0, 1.0 / nx))
+
+
+def square_mesh(n=4, cells=8, max_level=2):
+    return AmrMesh(RootGrid((n, n)), block_cells=cells, max_level=max_level,
+                   domain_size=(1.0, 1.0))
+
+
+class TestBasics:
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            EulerSolver2D(AmrMesh(RootGrid((2, 2, 2))))
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            EulerSolver2D(square_mesh(), gamma=0.9)
+        with pytest.raises(ValueError):
+            EulerSolver2D(square_mesh(), cfl=1.0)
+
+    def test_state_conversion_roundtrip(self):
+        st = EulerState(rho=2.0, u=0.3, v=-0.1, p=1.5)
+        U = st.conserved(1.4)
+        from repro.amr.hydro import _primitives
+
+        rho, u, v, p = _primitives(U[None, :], 1.4)
+        assert rho[0] == pytest.approx(2.0)
+        assert u[0] == pytest.approx(0.3)
+        assert v[0] == pytest.approx(-0.1)
+        assert p[0] == pytest.approx(1.5)
+
+    def test_step_before_initialize(self):
+        with pytest.raises(RuntimeError):
+            EulerSolver2D(square_mesh()).step()
+
+
+class TestUniformGasSanity:
+    def test_uniform_state_is_steady(self):
+        s = EulerSolver2D(square_mesh())
+        s.initialize(lambda x, y: (np.ones_like(x), np.zeros_like(x),
+                                   np.zeros_like(x), np.ones_like(x)))
+        U0 = {b: u.copy() for b, u in s.data.items()}
+        for _ in range(5):
+            s.step(0.001)
+        for b, u in s.data.items():
+            assert np.allclose(u, U0[b], atol=1e-12)
+
+    def test_conservation_with_reflective_walls(self):
+        s = EulerSolver2D(strip_mesh())
+        s.initialize(sod_initial_state())
+        before = s.total_conserved()
+        s.run(0.1)
+        after = s.total_conserved()
+        # Mass and energy exactly conserved; x-momentum changes only via
+        # wall pressure (not conserved), so check mass/energy.
+        assert after[0] == pytest.approx(before[0], rel=1e-12)
+        assert after[3] == pytest.approx(before[3], rel=1e-12)
+
+
+class TestSodShockTube:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        s = EulerSolver2D(strip_mesh(nx=8, cells=16), cfl=0.4)
+        s.initialize(sod_initial_state())
+        s.run(0.2)
+        return s
+
+    def test_positivity(self, solved):
+        rho_min, p_min = solved.min_density_pressure()
+        assert rho_min > 0
+        assert p_min > 0
+
+    def test_wave_structure(self, solved):
+        """Density decreases monotonically left-to-right through the fan
+        and the left state / right state plateaus survive at the ends."""
+        y = 0.0625
+        rho_left = solved._sample(0.05, y)[0]
+        rho_right = solved._sample(0.97, y)[0]
+        assert rho_left == pytest.approx(1.0, abs=0.02)    # undisturbed left
+        assert rho_right == pytest.approx(0.125, abs=0.02)  # undisturbed right
+
+    def test_contact_plateau_density(self, solved):
+        """The post-contact density plateau of the exact Sod solution is
+        ~0.426; first-order HLL smears it but the plateau level holds."""
+        y = 0.0625
+        plateau = [solved._sample(x, y)[0] for x in (0.58, 0.62, 0.66)]
+        assert np.mean(plateau) == pytest.approx(0.426, abs=0.08)
+
+    def test_shock_position(self, solved):
+        """The exact Sod shock sits at x ~ 0.85 at t=0.2: density must
+        transition from post-shock (~0.266) to ambient (0.125) there."""
+        y = 0.0625
+        before = solved._sample(0.80, y)[0]
+        after = solved._sample(0.93, y)[0]
+        assert before > 0.2
+        assert after < 0.17
+
+
+class TestBlast:
+    @staticmethod
+    def _assemble(s, cells_per_side):
+        full = np.zeros((cells_per_side, cells_per_side, 4))
+        for b in s.mesh.blocks:
+            lo, h = s._geom(b)
+            i0, j0 = int(round(lo[0] / h)), int(round(lo[1] / h))
+            full[i0:i0 + s.nc, j0:j0 + s.nc] = s.data[b]
+        return full
+
+    def test_expanding_shock_and_symmetry(self):
+        s = EulerSolver2D(square_mesh(n=4, cells=8, max_level=0), cfl=0.4)
+        s.initialize(blast_initial_state((0.5, 0.5), 0.1))
+        s.run(0.05)
+        rho_min, p_min = s.min_density_pressure()
+        assert rho_min > 0 and p_min > 0
+        full = self._assemble(s, 32)
+        rho = full[..., 0]
+        # Full 4-fold symmetry of the solution field.
+        assert np.allclose(rho, rho[::-1, :], atol=1e-12)      # x-mirror
+        assert np.allclose(rho, rho[:, ::-1], atol=1e-12)      # y-mirror
+        assert np.allclose(rho, rho.T, atol=1e-12)             # transpose
+        # Pressure wave moved outward: ambient corner still quiet.
+        assert s._sample(0.06, 0.06)[3] == pytest.approx(
+            0.1 / 0.4, rel=1e-6
+        )  # E = p/(gamma-1) at rest
+
+
+class TestAmrCoupling:
+    def test_gradient_tags_find_the_shock(self):
+        s = EulerSolver2D(square_mesh(n=4, cells=8, max_level=1))
+        s.initialize(blast_initial_state((0.5, 0.5), 0.12))
+        tags = s.gradient_tags(threshold=0.2)
+        assert tags.refine  # discontinuity tagged
+        # Quiet corner blocks not tagged for refinement.
+        from repro.mesh import BlockIndex
+
+        assert BlockIndex(0, (0, 0)) not in tags.refine
+
+    def test_adapt_transfers_state(self):
+        s = EulerSolver2D(square_mesh(n=2, cells=8, max_level=1))
+        s.initialize(blast_initial_state((0.5, 0.5), 0.2))
+        mass0 = s.total_conserved()[0]
+        n_ref, _ = s.adapt(threshold=0.1)
+        assert n_ref > 0
+        assert set(s.data) == set(s.mesh.blocks)
+        # Piecewise-constant prolongation preserves integrals exactly.
+        assert s.total_conserved()[0] == pytest.approx(mass0, rel=1e-12)
+
+    def test_coarsen_after_wave_passes(self):
+        s = EulerSolver2D(square_mesh(n=2, cells=8, max_level=1))
+        s.initialize(blast_initial_state((0.5, 0.5), 0.2))
+        s.adapt(threshold=0.1)
+        refined_count = s.mesh.n_blocks
+        # Overwrite with a uniform state: everything should coarsen back.
+        s.initialize(lambda x, y: (np.ones_like(x), np.zeros_like(x),
+                                   np.zeros_like(x), np.ones_like(x)))
+        s.adapt(threshold=0.1, coarsen_below=0.05)
+        assert s.mesh.n_blocks < refined_count
+
+    def test_measured_costs_in_sfc_order(self):
+        s = EulerSolver2D(square_mesh(n=2, cells=8, max_level=1))
+        s.initialize(blast_initial_state((0.5, 0.5), 0.2))
+        with pytest.raises(RuntimeError):
+            s.measured_costs()
+        s.step()
+        costs = s.measured_costs()
+        assert costs.shape == (s.mesh.n_blocks,)
+        assert (costs > 0).all()
+
+    def test_adaptive_run_stays_positive(self):
+        s = EulerSolver2D(square_mesh(n=2, cells=8, max_level=1), cfl=0.3)
+        s.initialize(blast_initial_state((0.5, 0.5), 0.15))
+        for _ in range(4):
+            for _ in range(3):
+                s.step()
+            s.adapt(threshold=0.15)
+        rho_min, p_min = s.min_density_pressure()
+        assert rho_min > 0 and p_min > 0

@@ -1,0 +1,190 @@
+"""Tests for the experiment harness (distributions, benches, studies)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    COST_DISTRIBUTIONS,
+    CommbenchConfig,
+    ScalebenchConfig,
+    SedovSweepConfig,
+    correlation_study,
+    cplx_label,
+    format_series,
+    format_table,
+    make_costs,
+    makespan_table,
+    overhead_table,
+    random_refined_mesh,
+    reordering_study,
+    run_commbench,
+    run_scalebench,
+    run_sedov_sweep,
+    spike_study,
+    throttling_study,
+)
+
+
+class TestDistributions:
+    @pytest.mark.parametrize("name", sorted(COST_DISTRIBUTIONS))
+    def test_positive_bounded_mean_near_one(self, name):
+        costs = make_costs(name, 5000, seed=1)
+        assert costs.shape == (5000,)
+        assert costs.min() >= 0.2
+        assert costs.max() <= 5.0
+        assert 0.6 < costs.mean() < 1.4
+
+    def test_deterministic(self):
+        a = make_costs("exponential", 100, seed=3)
+        b = make_costs("exponential", 100, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_power_law_heavier_tail_than_gaussian(self):
+        p = make_costs("power-law", 20000, seed=0)
+        g = make_costs("gaussian", 20000, seed=0)
+        assert np.quantile(p, 0.999) > np.quantile(g, 0.999)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            make_costs("zipf", 10)
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.125]], title="T")
+        assert out.splitlines()[0] == "T"
+        assert "bb" in out
+
+    def test_format_series(self):
+        assert format_series("s", ["x"], [1.5]) == "s: x=1.5"
+
+    def test_cplx_label(self):
+        assert cplx_label(50.0) == "CPL50"
+        assert cplx_label(12.5) == "CPL12.5"
+
+
+class TestCommbench:
+    def test_random_mesh_targets_blocks_per_rank(self, rng):
+        mesh = random_refined_mesh(64, 1.5, rng)
+        assert mesh.n_blocks >= 64
+        assert mesh.n_blocks <= 64 * 4
+
+    def test_run_produces_sane_latencies(self):
+        r = run_commbench(CommbenchConfig(
+            n_ranks=64, n_meshes=2, n_rounds=10, x_values=(0.0, 100.0)))
+        assert (r.mean_latency_s > 0).all()
+        assert (r.mean_latency_s < 10e-3).all()
+        assert r.best_x() in (0.0, 100.0)
+        assert "commbench" in r.series()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CommbenchConfig(n_ranks=1)
+        with pytest.raises(ValueError):
+            CommbenchConfig(target_blocks_per_rank=9.0)
+
+
+class TestScalebench:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_scalebench(ScalebenchConfig(scales=(256,), repeats=2))
+
+    def test_row_coverage(self, rows):
+        assert len(rows) == 1 * 3 * 5  # scales x dists x X values
+
+    def test_lpt_never_worse_than_cdp(self, rows):
+        for dist in ("exponential", "gaussian", "power-law"):
+            by_x = {r.x: r.norm_makespan for r in rows if r.distribution == dist}
+            assert by_x[100.0] <= by_x[0.0] + 1e-9
+
+    def test_x25_captures_bulk_of_benefit(self, rows):
+        """Paper Fig. 7b: the bulk of LPT's gain is realized by X=25."""
+        for dist in ("exponential", "gaussian", "power-law"):
+            by_x = {r.x: r.norm_makespan for r in rows if r.distribution == dist}
+            full_gain = by_x[0.0] - by_x[100.0]
+            if full_gain > 1e-6:
+                assert (by_x[0.0] - by_x[25.0]) >= 0.5 * full_gain
+
+    def test_tables_render(self, rows):
+        assert "normalized makespan" in makespan_table(rows)
+        assert "placement computation" in overhead_table(rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScalebenchConfig(distributions=("zipf",))
+
+
+class TestTuningStudies:
+    def test_correlation_improves_with_tuning(self):
+        c = correlation_study(n_ranks=64, n_steps=30)
+        assert c["tuned"] > c["untuned"] + 0.3
+        assert c["tuned"] > 0.5
+
+    def test_spikes_removed_by_drain_queue(self):
+        s = spike_study(n_ranks=64, n_steps=100)
+        assert s["no_drain_queue"]["spikes"] > 0
+        assert s["drain_queue"]["spikes"] == 0
+        assert s["no_drain_queue"]["mean_sync_s"] > 1.5 * s["drain_queue"]["mean_sync_s"]
+
+    def test_throttling_detected_and_pruning_recovers(self):
+        t = throttling_study(n_ranks=128, n_steps=15)
+        assert t["throttled"]["sync_fraction"] > 0.5
+        assert t["throttled"]["detected_nodes"] == t["throttled"]["true_bad_nodes"]
+        assert t["speedup"]["runtime_ratio"] > 1.8
+
+    def test_reordering_stages_reduce_variance(self):
+        stages = dict(reordering_study(n_ranks=64, n_steps=25))
+        assert (
+            stages["send_priority"]["across_rank_spread"]
+            < stages["untuned"]["across_rank_spread"]
+        )
+        assert (
+            stages["send_priority+queue"]["mean_within_rank_jitter"]
+            < stages["send_priority"]["mean_within_rank_jitter"]
+        )
+
+
+class TestSedovSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_sedov_sweep(
+            SedovSweepConfig(
+                scales=(512,),
+                policies=("baseline", "cplx:0", "cplx:50", "cplx:100"),
+                steps=300,
+            )
+        )
+
+    def test_outcomes_and_labels(self, result):
+        assert result.scales() == [512]
+        assert result.labels() == ["baseline", "CPL0", "CPL50", "CPL100"]
+
+    def test_all_cplx_beat_baseline(self, result):
+        for label in ("CPL0", "CPL50", "CPL100"):
+            assert result.reduction_vs_baseline(512, label) > 0.05
+
+    def test_tradeoff_direction(self, result):
+        base = result.at(512, "baseline").summary.phase_rank_seconds
+        p0 = result.at(512, "CPL0").summary.phase_rank_seconds
+        p100 = result.at(512, "CPL100").summary.phase_rank_seconds
+        assert p100["comm"] > p0["comm"]
+        assert p100["sync"] < p0["sync"]
+
+    def test_remote_fraction_grows_with_x(self, result):
+        assert (
+            result.at(512, "CPL100").remote_fraction
+            > result.at(512, "CPL0").remote_fraction
+        )
+
+    def test_tables_render(self, result):
+        assert "Fig 6a" in result.fig6a_table()
+        assert "Fig 6b" in result.fig6b_table()
+        assert "Fig 6c" in result.fig6c_table()
+        assert "Table I" in result.table_i_text()
+
+    def test_table_i_row_fields(self, result):
+        row = result.table_i[0]
+        assert row["ranks"] == 512
+        assert row["n_initial"] == 512
+        assert row["t_total"] == 300
+        assert row["n_final"] >= row["n_initial"]

@@ -1,0 +1,164 @@
+"""Tests for the CDP family: restricted DP, full DP, chunking."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    cdp_full,
+    cdp_optimal_makespan,
+    cdp_restricted,
+    chunked_cdp_counts,
+    counts_makespan,
+    load_stats,
+    split_chunks,
+)
+from repro.core.chunked import _rank_shares
+
+instances = st.tuples(
+    st.lists(st.floats(0.05, 10.0), min_size=1, max_size=40),
+    st.integers(1, 8),
+)
+
+
+def brute_restricted(costs: np.ndarray, r: int) -> float:
+    n = len(costs)
+    f, e = divmod(n, r)
+    best = float("inf")
+    for ceil_pos in itertools.combinations(range(r), e):
+        counts = [f + 1 if i in ceil_pos else f for i in range(r)]
+        best = min(best, counts_makespan(costs, np.asarray(counts)))
+    return best
+
+
+class TestRestricted:
+    @given(instances)
+    def test_optimal_within_restriction(self, inst):
+        costs, r = np.asarray(inst[0]), inst[1]
+        if r > 1 and len(costs) % r != 0 and r <= 6 and len(costs) <= 24:
+            counts = cdp_restricted(costs, r)
+            assert counts_makespan(costs, counts) == pytest.approx(
+                brute_restricted(costs, r)
+            )
+
+    @given(instances)
+    def test_counts_are_legal(self, inst):
+        costs, r = np.asarray(inst[0]), inst[1]
+        counts = cdp_restricted(costs, r)
+        n = len(costs)
+        f, e = divmod(n, r)
+        assert counts.sum() == n
+        assert set(counts.tolist()) <= {f, f + 1}
+        assert (counts == f + 1).sum() == e
+
+    def test_divisible_case_unique(self):
+        costs = np.ones(12)
+        counts = cdp_restricted(costs, 4)
+        assert counts.tolist() == [3, 3, 3, 3]
+
+    def test_improves_on_worst_contiguous(self):
+        # One expensive block: restriction still avoids pairing it badly.
+        costs = np.array([1.0, 1.0, 10.0, 1.0, 1.0])
+        counts = cdp_restricted(costs, 2)  # sizes {2, 3}
+        m = counts_makespan(costs, counts)
+        # best restricted split: [1,1] | [10,1,1] = 12 or [1,1,10] | [1,1]=12
+        assert m == pytest.approx(12.0)
+
+
+class TestFullDP:
+    @given(instances)
+    @settings(max_examples=25)
+    def test_matches_parametric_optimum(self, inst):
+        costs, r = np.asarray(inst[0]), inst[1]
+        if len(costs) > 25:
+            costs = costs[:25]
+        counts = cdp_full(costs, r)
+        assert counts.sum() == len(costs)
+        m = counts_makespan(costs, counts)
+        assert m == pytest.approx(cdp_optimal_makespan(costs, r), rel=1e-6)
+
+    @given(instances)
+    @settings(max_examples=25)
+    def test_full_never_worse_than_restricted(self, inst):
+        costs, r = np.asarray(inst[0]), inst[1]
+        mf = counts_makespan(costs, cdp_full(costs, r))
+        mr = counts_makespan(costs, cdp_restricted(costs, r))
+        assert mf <= mr + 1e-9
+
+    def test_allows_empty_segments(self):
+        # More ranks than blocks: full DP legally leaves ranks empty.
+        counts = cdp_full(np.array([3.0, 1.0]), 4)
+        assert counts.sum() == 2
+        assert counts_makespan(np.array([3.0, 1.0]), counts) == pytest.approx(3.0)
+
+
+class TestCountsMakespan:
+    def test_mismatched_counts_rejected(self):
+        with pytest.raises(ValueError):
+            counts_makespan(np.ones(5), np.array([2, 2]))
+
+    def test_known_value(self):
+        assert counts_makespan(np.array([1, 2, 3, 4.0]), np.array([2, 2])) == 7.0
+
+
+class TestChunking:
+    def test_split_chunks_cover_exactly(self):
+        costs = np.ones(100)
+        ranges = split_chunks(costs, 7)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 100
+        for (a0, b0), (a1, b1) in zip(ranges, ranges[1:]):
+            assert b0 == a1
+        assert all(b > a for a, b in ranges)
+
+    def test_split_balances_cost_not_count(self):
+        costs = np.array([10.0] * 10 + [1.0] * 90)
+        ranges = split_chunks(costs, 2)
+        left = costs[ranges[0][0]:ranges[0][1]].sum()
+        right = costs[ranges[1][0]:ranges[1][1]].sum()
+        assert abs(left - right) <= 10.0  # within one max-cost block
+
+    def test_rank_shares_sum_and_minimum(self):
+        shares = _rank_shares(np.array([10.0, 1.0, 1.0]), 8)
+        assert shares.sum() == 8
+        assert (shares >= 1).all()
+        assert shares[0] > shares[1]
+
+    def test_rank_shares_too_few_ranks(self):
+        with pytest.raises(ValueError):
+            _rank_shares(np.ones(5), 3)
+
+    @given(instances, st.integers(1, 4))
+    @settings(max_examples=25)
+    def test_chunked_counts_legal(self, inst, rpc):
+        costs, r = np.asarray(inst[0]), inst[1]
+        counts = chunked_cdp_counts(costs, r, ranks_per_chunk=rpc)
+        assert counts.shape == (r,)
+        assert counts.sum() == len(costs)
+        assert (counts >= 0).all()
+
+    def test_single_chunk_equals_plain_cdp(self):
+        rng = np.random.default_rng(0)
+        costs = rng.exponential(1.0, size=50)
+        a = chunked_cdp_counts(costs, 8, ranks_per_chunk=100)
+        b = cdp_restricted(costs, 8)
+        assert np.array_equal(a, b)
+
+    def test_parallel_matches_serial(self):
+        rng = np.random.default_rng(1)
+        costs = rng.exponential(1.0, size=200)
+        a = chunked_cdp_counts(costs, 32, ranks_per_chunk=8, parallel=False)
+        b = chunked_cdp_counts(costs, 32, ranks_per_chunk=8, parallel=True)
+        assert np.array_equal(a, b)
+
+    def test_chunking_quality_close_to_global(self):
+        """Ablation guard: chunked CDP loses little vs global restricted CDP."""
+        rng = np.random.default_rng(2)
+        costs = rng.exponential(1.0, size=600)
+        global_m = counts_makespan(costs, cdp_restricted(costs, 64))
+        chunked_m = counts_makespan(
+            costs, chunked_cdp_counts(costs, 64, ranks_per_chunk=16)
+        )
+        assert chunked_m <= global_m * 1.35

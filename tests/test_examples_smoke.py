@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the library's contract with new users; a release where an
+example crashes is broken regardless of test coverage.  Each script runs
+in-process (imported as __main__-style module) at its default scale but
+under a hard time budget.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+#: scripts too slow for the unit-test budget (exercised by benches/examples)
+SLOW = {"sedov_sweep.py", "microbenchmarks.py", "tuning_case_study.py",
+        "full_pipeline.py", "cooling_variability.py", "telemetry_analysis.py"}
+
+
+@pytest.mark.parametrize("name", [e for e in EXAMPLES if e not in SLOW])
+def test_example_runs(name, capsys):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 50  # produced real output
+
+
+def test_example_inventory():
+    """The README's example table stays in sync with the directory."""
+    assert len(EXAMPLES) >= 9
+    assert "quickstart.py" in EXAMPLES

@@ -1,0 +1,149 @@
+"""Unit tests for repro.mesh.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import (
+    BlockIndex,
+    RootGrid,
+    block_bounds,
+    blocks_overlap,
+    child_offsets,
+    same_or_ancestor,
+)
+
+
+class TestChildOffsets:
+    def test_2d_is_morton_order(self):
+        offs = child_offsets(2)
+        assert offs.tolist() == [[0, 0], [1, 0], [0, 1], [1, 1]]
+
+    def test_3d_count_and_uniqueness(self):
+        offs = child_offsets(3)
+        assert offs.shape == (8, 3)
+        assert len({tuple(o) for o in offs.tolist()}) == 8
+
+    @pytest.mark.parametrize("dim", [0, 4, -1])
+    def test_invalid_dim(self, dim):
+        with pytest.raises(ValueError):
+            child_offsets(dim)
+
+
+class TestBlockIndex:
+    def test_parent_child_roundtrip(self):
+        b = BlockIndex(2, (5, 3, 7))
+        for child in b.children():
+            assert child.parent() == b
+            assert child.level == 3
+
+    def test_child_number_matches_position(self):
+        b = BlockIndex(1, (1, 0, 1))
+        kids = b.children()
+        for i, k in enumerate(kids):
+            assert k.child_number() == i
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            BlockIndex(0, (0, 0)).parent()
+
+    def test_ancestor(self):
+        b = BlockIndex(3, (13, 6))
+        assert b.ancestor(1) == BlockIndex(1, (3, 1))
+        assert b.ancestor(3) == b
+        with pytest.raises(ValueError):
+            b.ancestor(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockIndex(-1, (0,))
+        with pytest.raises(ValueError):
+            BlockIndex(0, (0, -1))
+        with pytest.raises(ValueError):
+            BlockIndex(0, ())
+
+    @given(
+        st.integers(1, 5),
+        st.tuples(st.integers(0, 30), st.integers(0, 30), st.integers(0, 30)),
+    )
+    def test_children_cover_parent_exactly(self, level, coords):
+        b = BlockIndex(level, coords)
+        kids = b.children()
+        assert len(kids) == 8
+        assert len(set(kids)) == 8
+        assert all(k.parent() == b for k in kids)
+
+
+class TestRootGrid:
+    def test_anisotropic_extents(self):
+        g = RootGrid((8, 8, 16))
+        assert g.n_root_blocks == 1024
+        assert g.extent_at(1) == (16, 16, 32)
+
+    def test_root_blocks_enumeration(self):
+        g = RootGrid((2, 3))
+        roots = list(g.root_blocks())
+        assert len(roots) == 6
+        assert len(set(roots)) == 6
+        assert all(r.level == 0 and g.contains(r) for r in roots)
+
+    def test_wrap_periodic_and_clipped(self):
+        g = RootGrid((2, 2), periodic=(True, False))
+        assert g.wrap(0, (-1, 0)) == (1, 0)
+        assert g.wrap(0, (0, -1)) is None
+        assert g.wrap(1, (4, 1)) == (0, 1)
+
+    def test_contains(self):
+        g = RootGrid((2, 2, 2))
+        assert g.contains(BlockIndex(1, (3, 3, 3)))
+        assert not g.contains(BlockIndex(0, (2, 0, 0)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RootGrid((0, 2))
+        with pytest.raises(ValueError):
+            RootGrid((2, 2), periodic=(True,))
+
+
+class TestBounds:
+    def test_unit_root_blocks(self):
+        g = RootGrid((4, 4, 4))
+        lo, hi = block_bounds(BlockIndex(0, (1, 2, 3)), g)
+        assert np.allclose(lo, [1, 2, 3])
+        assert np.allclose(hi, [2, 3, 4])
+
+    def test_physical_domain_scaling(self):
+        g = RootGrid((2, 2))
+        lo, hi = block_bounds(BlockIndex(1, (3, 0)), g, domain_size=(8.0, 8.0))
+        assert np.allclose(lo, [6, 0])
+        assert np.allclose(hi, [8, 2])
+
+    def test_children_tile_parent(self):
+        g = RootGrid((2, 2, 2))
+        b = BlockIndex(1, (2, 1, 0))
+        plo, phi = block_bounds(b, g)
+        vol = 0.0
+        for c in b.children():
+            lo, hi = block_bounds(c, g)
+            assert (lo >= plo - 1e-12).all() and (hi <= phi + 1e-12).all()
+            vol += float(np.prod(hi - lo))
+        assert vol == pytest.approx(float(np.prod(phi - plo)))
+
+
+class TestOverlap:
+    def test_ancestor_relations(self):
+        a = BlockIndex(1, (1, 1))
+        d = BlockIndex(3, (5, 6))
+        assert same_or_ancestor(a, d)
+        assert not same_or_ancestor(d, a)
+        assert blocks_overlap(a, d) and blocks_overlap(d, a)
+
+    def test_disjoint(self):
+        a = BlockIndex(1, (0, 0))
+        b = BlockIndex(1, (1, 0))
+        assert not blocks_overlap(a, b)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            blocks_overlap(BlockIndex(0, (0, 0)), BlockIndex(0, (0, 0, 0)))

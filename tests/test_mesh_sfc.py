@@ -1,0 +1,114 @@
+"""Unit + property tests for repro.mesh.sfc (Morton/Z-order machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mesh.geometry import BlockIndex
+from repro.mesh.sfc import (
+    contiguous_ranges,
+    morton_decode,
+    morton_encode,
+    morton_key,
+    sfc_sort_blocks,
+)
+
+coords_arrays = st.integers(1, 3).flatmap(
+    lambda dim: st.lists(
+        st.tuples(*[st.integers(0, 2**21 - 1)] * dim), min_size=1, max_size=64
+    )
+)
+
+
+class TestMortonCodes:
+    @given(coords_arrays)
+    def test_encode_decode_roundtrip(self, pts):
+        arr = np.asarray(pts, dtype=np.int64)
+        dim = arr.shape[1]
+        codes = morton_encode(arr)
+        back = morton_decode(codes, dim)
+        assert np.array_equal(back, arr)
+
+    def test_2d_known_values(self):
+        # Z-order of the 2x2 quad: (0,0) (1,0) (0,1) (1,1)
+        pts = np.array([[0, 0], [1, 0], [0, 1], [1, 1]])
+        assert morton_encode(pts).tolist() == [0, 1, 2, 3]
+
+    def test_3d_known_values(self):
+        pts = np.array([[1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 1]])
+        assert morton_encode(pts).tolist() == [1, 2, 4, 7]
+
+    def test_order_is_zorder(self):
+        # Codes of a full 4x4 grid sorted == Z traversal of quadrants.
+        pts = np.array([[x, y] for y in range(4) for x in range(4)])
+        codes = morton_encode(pts)
+        order = np.argsort(codes)
+        first_quad = {tuple(pts[i]) for i in order[:4]}
+        assert first_quad == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[2**21, 0, 0]]))
+        with pytest.raises(ValueError):
+            morton_encode(np.array([[-1, 0]]))
+
+    def test_scalar_decode(self):
+        out = morton_decode(np.uint64(7), 3)
+        assert out.tolist() == [1, 1, 1]
+
+
+class TestMortonKey:
+    def test_ancestor_sorts_before_descendants(self):
+        parent = BlockIndex(1, (1, 1))
+        kids = parent.children()
+        keys = [morton_key(parent, 3)] + [morton_key(k, 3) for k in kids]
+        assert keys[0] == min(keys)
+
+    def test_level_exceeds_max_rejected(self):
+        with pytest.raises(ValueError):
+            morton_key(BlockIndex(3, (0, 0)), 2)
+
+    @given(st.integers(0, 3), st.integers(0, 7), st.integers(0, 7))
+    def test_keys_distinct_for_distinct_blocks(self, level, x, y):
+        a = BlockIndex(level, (x, y))
+        b = BlockIndex(level, ((x + 1) % 8, y))
+        if a != b:
+            assert morton_key(a, 4) != morton_key(b, 4)
+
+
+class TestSfcSort:
+    def test_sort_mixed_levels_no_overlap(self):
+        # A quadrant refined once: parent's children interleave correctly.
+        blocks = [
+            BlockIndex(1, (1, 0)),
+            BlockIndex(1, (0, 1)),
+            BlockIndex(1, (1, 1)),
+            BlockIndex(2, (0, 0)),
+            BlockIndex(2, (1, 0)),
+            BlockIndex(2, (0, 1)),
+            BlockIndex(2, (1, 1)),
+        ]
+        out = sfc_sort_blocks(blocks)
+        # The four level-2 children of (0,0) come first, in Morton order.
+        assert out[:4] == blocks[3:]
+        assert out[4:] == blocks[:3]
+
+    def test_empty(self):
+        assert sfc_sort_blocks([]) == []
+
+
+class TestContiguousRanges:
+    def test_contiguous(self):
+        assert contiguous_ranges([0, 0, 1, 1, 1, 2])
+
+    def test_revisited_rank_is_noncontiguous(self):
+        assert not contiguous_ranges([0, 1, 0])
+
+    def test_empty_and_single(self):
+        assert contiguous_ranges([])
+        assert contiguous_ranges([3])
+
+    @given(st.lists(st.integers(0, 4), min_size=1, max_size=30))
+    def test_sorted_assignment_always_contiguous(self, ranks):
+        assert contiguous_ranges(sorted(ranks))

@@ -1,0 +1,97 @@
+"""Cross-policy property tests: invariants every placement must satisfy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    available_policies,
+    get_policy,
+    load_stats,
+    makespan_lower_bound,
+    validate_assignment,
+)
+
+#: policies constructible with no arguments (graph-partition needs a mesh)
+ZERO_ARG_POLICIES = sorted(set(available_policies()))
+
+instance = st.tuples(
+    st.lists(st.floats(0.0, 50.0), min_size=0, max_size=80).map(np.asarray),
+    st.integers(1, 16),
+)
+
+
+@pytest.mark.parametrize("name", ZERO_ARG_POLICIES)
+class TestEveryPolicy:
+    @given(instance)
+    @settings(max_examples=15)
+    def test_assignment_always_valid(self, name, inst):
+        costs, r = inst
+        result = get_policy(name).place(costs, r)
+        validate_assignment(result.assignment, costs.shape[0], r)
+
+    @given(instance)
+    @settings(max_examples=15)
+    def test_makespan_respects_lower_bounds(self, name, inst):
+        costs, r = inst
+        if costs.size == 0:
+            return
+        a = get_policy(name).compute(costs.astype(np.float64), r)
+        mk = load_stats(costs, a, r).makespan
+        assert mk >= makespan_lower_bound(costs, r) - 1e-9 or mk >= costs.max() - 1e-9
+
+    @given(instance)
+    @settings(max_examples=10)
+    def test_deterministic(self, name, inst):
+        costs, r = inst
+        a = get_policy(name).compute(costs.astype(np.float64), r)
+        b = get_policy(name).compute(costs.astype(np.float64), r)
+        assert np.array_equal(a, b)
+
+    def test_single_block(self, name):
+        a = get_policy(name).place(np.array([3.0]), 4).assignment
+        assert a.shape == (1,)
+
+    def test_more_ranks_than_blocks(self, name):
+        a = get_policy(name).place(np.ones(3), 10).assignment
+        validate_assignment(a, 3, 10)
+
+    def test_zero_costs(self, name):
+        a = get_policy(name).place(np.zeros(8), 4).assignment
+        validate_assignment(a, 8, 4)
+
+    def test_empty_block_set(self, name):
+        a = get_policy(name).place(np.empty(0), 4).assignment
+        assert a.shape == (0,)
+
+
+class TestCplxSweepInvariants:
+    @given(
+        st.lists(st.floats(0.01, 20.0), min_size=16, max_size=80).map(np.asarray),
+        st.integers(4, 12),
+    )
+    @settings(max_examples=15)
+    def test_lpt_end_never_worse_than_cdp_end(self, costs, r):
+        m0 = load_stats(
+            costs, get_policy("cplx:0").compute(costs, r), r
+        ).makespan
+        m100 = load_stats(
+            costs, get_policy("cplx:100").compute(costs, r), r
+        ).makespan
+        assert m100 <= m0 + 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 20.0), min_size=16, max_size=60).map(np.asarray),
+        st.integers(4, 10),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=20)
+    def test_every_x_between_endpoints_or_better(self, costs, r, x):
+        mx = load_stats(
+            costs, get_policy(f"cplx:{x}").compute(costs, r), r
+        ).makespan
+        m0 = load_stats(
+            costs, get_policy("cplx:0").compute(costs, r), r
+        ).makespan
+        assert mx <= m0 + 1e-9  # partial LPT can only improve on CDP

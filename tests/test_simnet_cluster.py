@@ -1,0 +1,146 @@
+"""Tests for machine specs, cluster topology, faults, and tuning knobs."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.simnet import (
+    Cluster,
+    FabricSpec,
+    FaultModel,
+    MachineSpec,
+    TUNED,
+    TuningConfig,
+    UNTUNED,
+)
+
+
+class TestMachineSpec:
+    def test_defaults_are_paper_like(self):
+        m = MachineSpec()
+        assert m.cores_per_node == 16  # Xeon E5-2670
+        assert m.throttle_factor == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineSpec(cores_per_node=0)
+        with pytest.raises(ValueError):
+            MachineSpec(block_compute_s=-1)
+        with pytest.raises(ValueError):
+            MachineSpec(throttle_factor=0.5)
+
+
+class TestFabricSpec:
+    def test_collective_cost_grows_logarithmically(self):
+        f = FabricSpec()
+        c512 = f.collective_cost_s(512)
+        c4096 = f.collective_cost_s(4096)
+        assert c4096 > c512
+        assert c4096 - c512 == pytest.approx(3 * f.collective_per_level_s)
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ValueError):
+            FabricSpec(local_latency_s=0.0)
+
+
+class TestCluster:
+    def test_topology(self):
+        c = Cluster(n_ranks=40)
+        assert c.n_nodes == 3  # ceil(40/16)
+        assert c.node_of(0) == 0
+        assert c.node_of(16) == 1
+        assert c.node_of(np.array([15, 16])).tolist() == [0, 1]
+
+    def test_throttle_sets_whole_node(self):
+        c = Cluster(n_ranks=32).throttle_nodes([1])
+        speed = c.rank_speed_factor()
+        assert (speed[:16] == 1.0).all()
+        assert (speed[16:] == 4.0).all()
+
+    def test_throttle_bad_node_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(n_ranks=16).throttle_nodes([5])
+
+    def test_unhealthy_and_prune(self):
+        c = Cluster(n_ranks=64).throttle_nodes([0, 2])
+        assert c.unhealthy_nodes() == [0, 2]
+        pruned = c.pruned()
+        assert pruned.n_nodes == 2
+        assert pruned.unhealthy_nodes() == []
+        assert pruned.n_ranks == 32
+
+    def test_prune_healthy_is_noop(self):
+        c = Cluster(n_ranks=16)
+        assert c.pruned() is c
+
+    def test_prune_everything_fails(self):
+        c = Cluster(n_ranks=16).throttle_nodes([0])
+        with pytest.raises(RuntimeError):
+            c.pruned()
+
+    def test_speed_factor_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(n_ranks=16, node_speed_factor=np.array([0.5]))
+        with pytest.raises(ValueError):
+            Cluster(n_ranks=16, node_speed_factor=np.ones(3))
+
+
+class TestFaults:
+    def test_apply_throttles_fraction(self):
+        c = Cluster(n_ranks=160)  # 10 nodes
+        fm = FaultModel(throttled_node_fraction=0.3, seed=1)
+        sick = fm.apply_to_cluster(c)
+        assert len(sick.unhealthy_nodes()) == 3
+
+    def test_apply_deterministic(self):
+        c = Cluster(n_ranks=160)
+        fm = FaultModel(throttled_node_fraction=0.2, seed=9)
+        assert (
+            fm.apply_to_cluster(c).unhealthy_nodes()
+            == fm.apply_to_cluster(c).unhealthy_nodes()
+        )
+
+    def test_at_least_one_node_when_fraction_positive(self):
+        c = Cluster(n_ranks=16)
+        sick = FaultModel(throttled_node_fraction=0.01).apply_to_cluster(c)
+        assert len(sick.unhealthy_nodes()) == 1
+
+    def test_ack_stall_expectation(self):
+        fm = FaultModel(ack_loss_prob=0.01, ack_recovery_s=0.1)
+        sends = np.array([10.0, 0.0])
+        exp = fm.ack_stall_expectation(sends, drain_queue=False)
+        assert exp[0] == pytest.approx(0.01)
+        assert exp[1] == 0.0
+        assert (fm.ack_stall_expectation(sends, drain_queue=True) == 0).all()
+
+    def test_sampled_stalls_zero_with_drain_queue(self):
+        fm = FaultModel(ack_loss_prob=0.5)
+        rng = np.random.default_rng(0)
+        out = fm.sample_ack_stalls(np.full(8, 100), True, rng)
+        assert (out == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(throttled_node_fraction=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(ack_loss_prob=-0.1)
+
+
+class TestTuning:
+    def test_presets(self):
+        assert TUNED.send_priority and TUNED.drain_queue
+        assert not UNTUNED.send_priority and not UNTUNED.drain_queue
+        assert UNTUNED.shm_queue_slots < TUNED.shm_queue_slots
+
+    def test_queue_sigma_monotone_in_pressure(self):
+        t = TuningConfig(shm_queue_slots=64)
+        assert t.queue_contention_sigma(640) > t.queue_contention_sigma(6.4)
+
+    def test_queue_sigma_small_when_tuned(self):
+        assert TUNED.queue_contention_sigma(50) < 0.1
+        assert UNTUNED.queue_contention_sigma(50) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuningConfig(shm_queue_slots=0)

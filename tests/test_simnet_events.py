@@ -1,0 +1,156 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simnet import Emit, Engine, Timeout, WaitEvent
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        eng = Engine()
+        trace = []
+
+        def proc():
+            yield Timeout(1.5)
+            trace.append(eng.now)
+            yield Timeout(0.5)
+            trace.append(eng.now)
+
+        eng.spawn(proc())
+        assert eng.run() == 2.0
+        assert trace == [1.5, 2.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_interleaving_is_time_ordered(self):
+        eng = Engine()
+        trace = []
+
+        def proc(name, delay):
+            yield Timeout(delay)
+            trace.append(name)
+
+        eng.spawn(proc("b", 2.0))
+        eng.spawn(proc("a", 1.0))
+        eng.run()
+        assert trace == ["a", "b"]
+
+    def test_simultaneous_events_fifo(self):
+        eng = Engine()
+        trace = []
+
+        def proc(name):
+            yield Timeout(1.0)
+            trace.append(name)
+
+        for name in ("x", "y", "z"):
+            eng.spawn(proc(name))
+        eng.run()
+        assert trace == ["x", "y", "z"]
+
+
+class TestEvents:
+    def test_wait_and_emit_with_payload(self):
+        eng = Engine()
+        ev = eng.event()
+        got = []
+
+        def waiter():
+            payload = yield WaitEvent(ev)
+            got.append((eng.now, payload))
+
+        def firer():
+            yield Timeout(3.0)
+            yield Emit(ev, "hello")
+
+        eng.spawn(waiter())
+        eng.spawn(firer())
+        eng.run()
+        assert got == [(3.0, "hello")]
+
+    def test_wait_on_fired_event_resumes_immediately(self):
+        eng = Engine()
+        ev = eng.event()
+        eng.fire(ev, 42)
+        got = []
+
+        def waiter():
+            payload = yield WaitEvent(ev)
+            got.append(payload)
+
+        eng.spawn(waiter())
+        eng.run()
+        assert got == [42]
+
+    def test_double_fire_rejected(self):
+        eng = Engine()
+        ev = eng.event()
+        eng.fire(ev)
+        with pytest.raises(RuntimeError):
+            eng.fire(ev)
+
+    def test_multiple_waiters_all_resume(self):
+        eng = Engine()
+        ev = eng.event()
+        resumed = []
+
+        def waiter(i):
+            yield WaitEvent(ev)
+            resumed.append(i)
+
+        for i in range(3):
+            eng.spawn(waiter(i))
+
+        def firer():
+            yield Timeout(1.0)
+            yield Emit(ev)
+
+        eng.spawn(firer())
+        eng.run()
+        assert sorted(resumed) == [0, 1, 2]
+
+
+class TestTermination:
+    def test_deadlock_detected(self):
+        eng = Engine()
+        ev = eng.event()
+
+        def stuck():
+            yield WaitEvent(ev)
+
+        eng.spawn(stuck())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            eng.run()
+
+    def test_run_until_cutoff(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(100.0)
+
+        eng.spawn(proc())
+        assert eng.run(until=10.0) == 10.0
+
+    def test_process_result_captured(self):
+        eng = Engine()
+
+        def proc():
+            yield Timeout(1.0)
+            return "done"
+
+        p = eng.spawn(proc())
+        eng.run()
+        assert p.done and p.result == "done"
+        assert p.finish_time == 1.0
+
+    def test_bad_yield_type(self):
+        eng = Engine()
+
+        def proc():
+            yield "not a request"
+
+        eng.spawn(proc())
+        with pytest.raises(TypeError):
+            eng.run()

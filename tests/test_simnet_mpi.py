@@ -1,0 +1,213 @@
+"""Tests for simulated MPI semantics (happened-before, collectives)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.simnet import (
+    Cluster,
+    Engine,
+    FabricSpec,
+    FaultModel,
+    SimMPI,
+    TUNED,
+)
+
+FAST = FabricSpec(
+    local_latency_s=1e-9, remote_latency_s=1e-3,
+    local_bandwidth=1e15, remote_bandwidth=1e15,
+    local_service_s=1e-9, remote_service_s=1e-9,
+    collective_base_s=1e-9, collective_per_level_s=1e-9,
+)
+
+
+def make_world(n_ranks=4, **kw):
+    eng = Engine()
+    mpi = SimMPI(eng, Cluster(n_ranks=n_ranks), fabric=kw.pop("fabric", FAST), **kw)
+    return eng, mpi
+
+
+class TestPointToPoint:
+    def test_recv_completes_after_send_plus_latency(self):
+        eng, mpi = make_world(n_ranks=32)  # ranks 0 and 16 on different nodes
+        times = {}
+
+        def sender():
+            yield from mpi.compute(0, 1.0)
+            mpi.isend(0, 16, tag=7)
+
+        def receiver():
+            req = mpi.irecv(16, 0, tag=7)
+            yield from mpi.wait(16, req)
+            times["recv_done"] = eng.now
+
+        eng.spawn(sender())
+        eng.spawn(receiver())
+        eng.run()
+        assert times["recv_done"] == pytest.approx(1.0 + 1e-3, rel=1e-6)
+        assert mpi.phases[16].wait_s == pytest.approx(1.0 + 1e-3, rel=1e-6)
+
+    def test_send_before_recv_posted(self):
+        eng, mpi = make_world()
+
+        def sender():
+            mpi.isend(0, 1, tag=1)
+            yield from mpi.compute(0, 0.0)
+
+        done = []
+
+        def receiver():
+            yield from mpi.compute(1, 5.0)  # recv posted long after arrival
+            req = mpi.irecv(1, 0, tag=1)
+            yield from mpi.wait(1, req)
+            done.append(eng.now)
+
+        eng.spawn(sender())
+        eng.spawn(receiver())
+        eng.run()
+        assert done[0] == pytest.approx(5.0)
+        assert mpi.phases[1].wait_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_message_log_records_flight(self):
+        eng, mpi = make_world()
+
+        def prog():
+            mpi.isend(0, 1, tag=3)
+            yield from mpi.compute(0, 0.0)
+
+        def recv():
+            req = mpi.irecv(1, 0, tag=3)
+            yield from mpi.wait(1, req)
+
+        eng.spawn(prog())
+        eng.spawn(recv())
+        eng.run()
+        assert len(mpi.message_log) == 1
+        src, dst, tag, t0, t1 = mpi.message_log[0]
+        assert (src, dst, tag) == (0, 1, 3)
+        assert t1 >= t0
+
+
+class TestCollectives:
+    def test_allreduce_waits_for_straggler(self):
+        eng, mpi = make_world(n_ranks=3)
+        finish = {}
+
+        def prog(rank, work):
+            yield from mpi.compute(rank, work)
+            yield from mpi.allreduce(rank)
+            finish[rank] = eng.now
+
+        for r, w in enumerate((1.0, 5.0, 2.0)):
+            eng.spawn(prog(r, w))
+        eng.run()
+        assert finish[0] == finish[1] == finish[2]
+        assert finish[0] >= 5.0
+        # Sync telemetry: fast ranks waited, straggler did not.
+        assert mpi.phases[0].sync_s == pytest.approx(4.0, rel=1e-3)
+        assert mpi.phases[1].sync_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_successive_rounds_independent(self):
+        eng, mpi = make_world(n_ranks=2)
+        trace = []
+
+        def prog(rank):
+            yield from mpi.allreduce(rank)
+            trace.append(("r1", rank, eng.now))
+            yield from mpi.compute(rank, 1.0 + rank)
+            yield from mpi.allreduce(rank)
+            trace.append(("r2", rank, eng.now))
+
+        eng.spawn(prog(0))
+        eng.spawn(prog(1))
+        eng.run()
+        r2 = [t for t in trace if t[0] == "r2"]
+        assert r2[0][2] == r2[1][2] >= 2.0
+
+
+class TestThrottleAndFaults:
+    def test_throttled_rank_computes_slower(self):
+        eng = Engine()
+        cluster = Cluster(n_ranks=32).throttle_nodes([1])
+        mpi = SimMPI(eng, cluster, fabric=FAST)
+
+        def prog(rank):
+            yield from mpi.compute(rank, 1.0)
+
+        p0 = eng.spawn(prog(0))
+        p16 = eng.spawn(prog(16))
+        eng.run()
+        assert p0.finish_time == pytest.approx(1.0)
+        assert p16.finish_time == pytest.approx(4.0)
+
+    def test_ack_stall_blocks_sender_wait(self):
+        eng = Engine()
+        cluster = Cluster(n_ranks=32)
+        tuning = dataclasses.replace(TUNED, drain_queue=False)
+        faults = FaultModel(ack_loss_prob=1.0, ack_recovery_s=0.5)
+        mpi = SimMPI(eng, cluster, fabric=FAST, tuning=tuning, faults=faults, seed=1)
+        waited = []
+
+        def sender():
+            req = mpi.isend(0, 16, tag=1)
+            yield from mpi.wait(0, req)
+            waited.append(eng.now)
+
+        def receiver():
+            req = mpi.irecv(16, 0, tag=1)
+            yield from mpi.wait(16, req)
+
+        eng.spawn(sender())
+        eng.spawn(receiver())
+        eng.run()
+        assert waited[0] == pytest.approx(0.5, rel=1e-6)
+
+    def test_drain_queue_removes_stall(self):
+        eng = Engine()
+        cluster = Cluster(n_ranks=32)
+        faults = FaultModel(ack_loss_prob=1.0, ack_recovery_s=0.5)
+        mpi = SimMPI(eng, cluster, fabric=FAST, tuning=TUNED, faults=faults)
+        waited = []
+
+        def sender():
+            req = mpi.isend(0, 16, tag=1)
+            yield from mpi.wait(0, req)
+            waited.append(eng.now)
+
+        def receiver():
+            req = mpi.irecv(16, 0, tag=1)
+            yield from mpi.wait(16, req)
+
+        eng.spawn(sender())
+        eng.spawn(receiver())
+        eng.run()
+        assert waited[0] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestNicSerialization:
+    def test_incoming_messages_serialize(self):
+        fabric = FabricSpec(
+            local_latency_s=1e-9, remote_latency_s=1e-9,
+            local_bandwidth=1e15, remote_bandwidth=1e15,
+            local_service_s=0.1, remote_service_s=0.1,
+            collective_base_s=1e-9, collective_per_level_s=1e-9,
+        )
+        eng, mpi = make_world(n_ranks=4, fabric=fabric)
+        done = []
+
+        def sender(rank):
+            mpi.isend(rank, 3, tag=rank)
+            yield from mpi.compute(rank, 0.0)
+
+        def receiver():
+            reqs = [mpi.irecv(3, s, tag=s) for s in range(3)]
+            yield from mpi.waitall(3, reqs)
+            done.append(eng.now)
+
+        for r in range(3):
+            eng.spawn(sender(r))
+        eng.spawn(receiver())
+        eng.run()
+        # Three simultaneous sends to one rank serialize on its service.
+        assert done[0] >= 0.3 * 0.9

@@ -1,0 +1,84 @@
+"""Tests for DES/vectorized cross-validation and switch topology."""
+
+import numpy as np
+import pytest
+
+from repro.bench import random_refined_mesh
+from repro.core import get_policy
+from repro.simnet import (
+    Cluster,
+    ExchangePattern,
+    FabricSpec,
+    compare_models,
+    run_des_step,
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    rng = np.random.default_rng(3)
+    mesh = random_refined_mesh(32, 2.0, rng)
+    costs = rng.lognormal(0.0, 0.3, size=mesh.n_blocks)
+    assignment = get_policy("baseline").place(costs, 32).assignment
+    return mesh.neighbor_graph, assignment, costs
+
+
+class TestCrossValidation:
+    def test_models_agree_within_tolerance(self, env):
+        graph, assignment, costs = env
+        cmp = compare_models(graph, assignment, costs, Cluster(n_ranks=32),
+                             n_steps=3)
+        assert cmp.relative_gap < 0.15
+
+    def test_des_phases_sane(self, env):
+        graph, assignment, costs = env
+        wall, phases = run_des_step(graph, assignment, costs, Cluster(n_ranks=32))
+        assert wall > 0
+        assert phases["compute"] > 0
+        assert phases["sync"] >= 0
+        # wall >= straggler compute (happened-before lower bound)
+        loads = np.bincount(assignment, weights=costs, minlength=32)
+        assert wall >= loads.max() * Cluster(n_ranks=32).machine.block_compute_s
+
+    def test_des_balanced_faster_than_imbalanced(self, env):
+        graph, _, costs = env
+        cluster = Cluster(n_ranks=32)
+        base = get_policy("baseline").place(costs, 32).assignment
+        lpt = get_policy("lpt").place(costs, 32).assignment
+        wall_base, _ = run_des_step(graph, base, costs, cluster)
+        wall_lpt, _ = run_des_step(graph, lpt, costs, cluster)
+        assert wall_lpt < wall_base
+
+
+class TestSwitchTopology:
+    def test_switch_of_flat(self):
+        c = Cluster(n_ranks=64)
+        assert np.all(np.asarray(c.switch_of(np.arange(64))) == 0)
+
+    def test_switch_of_two_tier(self):
+        c = Cluster(n_ranks=64, nodes_per_switch=2)  # 4 nodes, 2 per switch
+        sw = np.asarray(c.switch_of(np.array([0, 16, 32, 48])))
+        assert sw.tolist() == [0, 0, 1, 1]
+
+    def test_cross_switch_latency_added(self, env):
+        graph, assignment, costs = env
+        flat = Cluster(n_ranks=32)
+        tiered = Cluster(n_ranks=32, nodes_per_switch=1)  # every node its own switch
+        fabric = FabricSpec(cross_switch_extra_s=5e-6)
+        p_flat = ExchangePattern.from_mesh(graph, assignment, costs, flat, fabric)
+        p_tier = ExchangePattern.from_mesh(graph, assignment, costs, tiered, fabric)
+        remote = ~p_flat.pair_local
+        if remote.any():
+            assert (
+                p_tier.pair_latency[remote] > p_flat.pair_latency[remote]
+            ).all()
+        # Intra-node pairs unaffected.
+        local = p_flat.pair_local
+        if local.any():
+            assert np.allclose(
+                p_tier.pair_latency[local], p_flat.pair_latency[local]
+            )
+
+    def test_negative_extra_rejected(self):
+        with pytest.raises(ValueError):
+            FabricSpec(cross_switch_extra_s=-1e-6)

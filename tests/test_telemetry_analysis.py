@@ -1,0 +1,163 @@
+"""Tests for collectors, analytics, and anomaly detectors."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    ColumnTable,
+    TelemetryCollector,
+    detect_throttled_nodes,
+    detect_wait_spikes,
+    phase_breakdown,
+    rankwise_variance,
+    straggler_attribution,
+    work_time_correlation,
+)
+
+
+class TestCollector:
+    def test_record_and_finalize(self):
+        c = TelemetryCollector(n_ranks=4, ranks_per_node=2)
+        c.record_step(0, 0, np.ones(4), np.zeros(4), np.zeros(4), weight=2.0)
+        c.record_step(1, 0, 2 * np.ones(4), np.zeros(4), np.zeros(4), weight=2.0)
+        t = c.steps_table()
+        assert t.n_rows == 8
+        assert t["node"].tolist() == [0, 0, 1, 1] * 2
+        totals = c.phase_totals()
+        assert totals["compute"] == pytest.approx((4 + 8) * 2.0)
+
+    def test_scalar_broadcast(self):
+        c = TelemetryCollector(2, 2)
+        c.record_step(0, 0, 1.0, 0.5, 0.0)
+        t = c.steps_table()
+        assert t["compute_s"].tolist() == [1.0, 1.0]
+        assert t["comm_s"].tolist() == [0.5, 0.5]
+
+    def test_shape_validation(self):
+        c = TelemetryCollector(4, 2)
+        with pytest.raises(ValueError):
+            c.record_step(0, 0, np.ones(3), np.zeros(4), np.zeros(4))
+
+    def test_epoch_table(self):
+        c = TelemetryCollector(2, 2)
+        c.record_epoch(0, 0, 10, 100, 5, 2, 0.01, 30, 12.5)
+        e = c.epochs_table()
+        assert e.n_rows == 1
+        assert e["n_steps"][0] == 10
+        assert e["epoch_wall_s"][0] == pytest.approx(12.5)
+
+    def test_empty_tables(self):
+        c = TelemetryCollector(2, 2)
+        assert c.steps_table().n_rows == 0
+        assert c.epochs_table().n_rows == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryCollector(0, 1)
+
+
+class TestAnalysis:
+    def test_correlation_detects_linear_relation(self, rng):
+        n = 2000
+        msgs = rng.poisson(30, n).astype(np.int64)
+        t = ColumnTable({
+            "msgs_remote": msgs,
+            "comm_s": msgs * 1e-4 + rng.normal(0, 1e-5, n),
+        })
+        assert work_time_correlation(t) > 0.9
+
+    def test_correlation_degenerate_inputs(self):
+        t = ColumnTable({"msgs_remote": np.zeros(5, dtype=np.int64),
+                         "comm_s": np.arange(5.0)})
+        assert work_time_correlation(t) == 0.0
+
+    def test_rankwise_variance_shrinks_when_uniform(self, rng):
+        ranks = np.tile(np.arange(8), 100)
+        noisy = ColumnTable({"rank": ranks, "comm_s": rng.exponential(1.0, 800)})
+        quiet = ColumnTable({"rank": ranks, "comm_s": np.ones(800)})
+        vn = rankwise_variance(noisy)
+        vq = rankwise_variance(quiet)
+        assert vq["across_rank_spread"] < vn["across_rank_spread"]
+        assert vq["mean_within_rank_jitter"] == 0.0
+
+    def test_straggler_attribution_finds_slow_rank(self, rng):
+        steps = np.repeat(np.arange(50), 8)
+        ranks = np.tile(np.arange(8), 50)
+        compute = rng.normal(1.0, 0.01, 400)
+        compute[ranks == 5] += 1.0  # rank 5 always slowest
+        t = ColumnTable({
+            "step": steps, "rank": ranks,
+            "compute_s": compute, "comm_s": np.zeros(400),
+        })
+        out = straggler_attribution(t, top_k=3)
+        assert out["rank"][0] == 5
+        assert out["straggler_steps"][0] == 50
+
+    def test_phase_breakdown_fractions(self):
+        t = ColumnTable({
+            "compute_s": np.array([6.0]), "comm_s": np.array([1.0]),
+            "sync_s": np.array([2.0]), "lb_s": np.array([1.0]),
+            "weight": np.array([2.0]),
+        })
+        pb = phase_breakdown(t)
+        assert pb.total == pytest.approx(20.0)
+        f = pb.fractions()
+        assert f["compute"] == pytest.approx(0.6)
+        assert "comp" in pb.row("x")
+
+
+class TestAnomalyDetectors:
+    def test_throttle_detector_node_granularity(self, rng):
+        ranks = np.tile(np.arange(64), 20)
+        compute = rng.normal(1.0, 0.02, ranks.size)
+        compute[(ranks // 16) == 2] *= 4.0  # node 2 throttled
+        t = ColumnTable({"rank": ranks, "compute_s": compute})
+        rep = detect_throttled_nodes(t, ranks_per_node=16)
+        assert rep.throttled_nodes == [2]
+        assert rep.any
+        assert rep.slowdown_by_node[2] > 3.0
+
+    def test_throttle_detector_clean_cluster(self, rng):
+        ranks = np.tile(np.arange(32), 10)
+        t = ColumnTable({"rank": ranks, "compute_s": rng.normal(1.0, 0.02, 320)})
+        rep = detect_throttled_nodes(t, ranks_per_node=16)
+        assert not rep.any
+
+    def test_throttle_detector_empty(self):
+        t = ColumnTable({"rank": np.empty(0, np.int64),
+                         "compute_s": np.empty(0)})
+        assert not detect_throttled_nodes(t, 16).any
+
+    def test_spike_detector_finds_injected_spikes(self, rng):
+        comm = rng.normal(1e-3, 1e-5, 1000)
+        comm[[100, 500, 900]] = 0.5
+        t = ColumnTable({"comm_s": comm})
+        rep = detect_wait_spikes(t, min_spike_s=0.01)
+        assert rep.n_spikes == 3
+        assert set(rep.spike_rows.tolist()) == {100, 500, 900}
+
+    def test_spike_detector_clean_series(self, rng):
+        t = ColumnTable({"comm_s": rng.normal(1e-3, 1e-5, 1000)})
+        rep = detect_wait_spikes(t, k_mad=12.0, min_spike_s=0.01)
+        assert rep.n_spikes == 0
+
+    def test_spike_detector_empty(self):
+        rep = detect_wait_spikes(ColumnTable({"comm_s": np.empty(0)}))
+        assert not rep.any
+
+
+class TestSchemaConformance:
+    def test_collector_output_matches_schema(self):
+        from repro.telemetry import EPOCH_SCHEMA, RANK_STEP_SCHEMA
+
+        c = TelemetryCollector(2, 2)
+        c.record_step(0, 0, np.ones(2), np.zeros(2), np.zeros(2))
+        c.record_epoch(0, 0, 10, 4, 1, 0, 0.01, 2, 5.0)
+        steps = c.steps_table()
+        assert set(steps.names) == set(RANK_STEP_SCHEMA)
+        for name, dtype in RANK_STEP_SCHEMA.items():
+            assert steps[name].dtype == dtype, name
+        epochs = c.epochs_table()
+        assert set(epochs.names) == set(EPOCH_SCHEMA)
+        for name, dtype in EPOCH_SCHEMA.items():
+            assert epochs[name].dtype == dtype, name

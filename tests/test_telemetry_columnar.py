@@ -1,0 +1,131 @@
+"""Unit + property tests for the binary columnar table format."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.telemetry import ColumnTable, read_stats, read_table, write_table
+
+column_strategy = st.one_of(
+    hnp.arrays(np.int64, st.integers(0, 50), elements=st.integers(-1000, 1000)),
+    hnp.arrays(
+        np.float64,
+        st.integers(0, 50),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    ),
+    hnp.arrays(np.bool_, st.integers(0, 50)),
+)
+
+
+class TestColumnTable:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable({"a": np.array(["x", "y"])})
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnTable({"a": np.zeros((2, 2))})
+
+    def test_select_filter_sort(self):
+        t = ColumnTable({"a": np.array([3, 1, 2]), "b": np.array([0.1, 0.2, 0.3])})
+        assert t.select(["b"]).names == ["b"]
+        assert t.filter(t["a"] > 1).n_rows == 2
+        assert t.sort_by("a")["a"].tolist() == [1, 2, 3]
+
+    def test_multi_key_sort_stable(self):
+        t = ColumnTable(
+            {"a": np.array([1, 1, 0, 0]), "b": np.array([2, 1, 2, 1])}
+        )
+        s = t.sort_by("a", "b")
+        assert s["a"].tolist() == [0, 0, 1, 1]
+        assert s["b"].tolist() == [1, 2, 1, 2]
+
+    def test_with_column_and_concat(self):
+        t = ColumnTable({"a": np.arange(2)})
+        t2 = t.with_column("b", np.array([1.0, 2.0]))
+        assert "b" in t2 and "b" not in t
+        cat = t2.concat(t2)
+        assert cat.n_rows == 4
+        with pytest.raises(ValueError):
+            t.concat(t2)
+
+    def test_missing_column_keyerror(self):
+        t = ColumnTable({"a": np.arange(2)})
+        with pytest.raises(KeyError, match="no column"):
+            t["nope"]
+
+    def test_stats_and_pretty(self):
+        t = ColumnTable({"x": np.array([1.0, 5.0, 3.0])})
+        assert t.stats()["x"] == (1.0, 5.0)
+        assert "x" in t.pretty()
+
+    def test_rows_iterator(self):
+        t = ColumnTable({"a": np.array([1, 2])})
+        assert list(t.to_rows()) == [{"a": 1}, {"a": 2}]
+
+
+class TestFileFormat:
+    @given(st.dictionaries(
+        st.sampled_from(["a", "b", "c", "dd"]), column_strategy,
+        min_size=1, max_size=4,
+    ))
+    def test_roundtrip_property(self, cols):
+        import pathlib
+        import tempfile
+
+        # Normalize lengths (ColumnTable requires equal length).
+        n = min(len(v) for v in cols.values())
+        cols = {k: v[:n] for k, v in cols.items()}
+        t = ColumnTable(cols)
+        with tempfile.TemporaryDirectory() as d:
+            p = pathlib.Path(d) / "t.rprc"
+            write_table(t, p)
+            assert read_table(p) == t
+
+    def test_column_subset_read(self, tmp_path):
+        t = ColumnTable({"a": np.arange(5), "b": np.ones(5), "c": np.zeros(5)})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+        sub = read_table(p, columns=["c", "a"])
+        assert sub.names == ["c", "a"]
+        assert np.array_equal(sub["a"], t["a"])
+
+    def test_missing_column_read(self, tmp_path):
+        t = ColumnTable({"a": np.arange(5)})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+        with pytest.raises(KeyError):
+            read_table(p, columns=["zzz"])
+
+    def test_embedded_stats_without_scan(self, tmp_path):
+        t = ColumnTable({"x": np.array([4.0, -2.0, 9.0]), "n": np.array([1, 2, 3])})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+        stats = read_stats(p)
+        assert stats["x"] == (-2.0, 9.0)
+        assert stats["n"] == (1, 3)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        p = tmp_path / "bad.rprc"
+        p.write_bytes(b"NOTAFILE")
+        with pytest.raises(ValueError, match="magic"):
+            read_table(p)
+
+    def test_bool_column_roundtrip(self, tmp_path):
+        t = ColumnTable({"flag": np.array([True, False, True])})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+        assert read_table(p) == t
+
+    def test_empty_table_roundtrip(self, tmp_path):
+        t = ColumnTable({"a": np.empty(0, dtype=np.int64)})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+        got = read_table(p)
+        assert got.n_rows == 0 and got.names == ["a"]

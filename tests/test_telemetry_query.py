@@ -1,0 +1,153 @@
+"""Tests for the query engine: fluent API and SQL dialect."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.telemetry import ColumnTable, Query, sql
+
+
+@pytest.fixture
+def table(rng):
+    n = 500
+    return ColumnTable(
+        {
+            "step": rng.integers(0, 20, n),
+            "rank": rng.integers(0, 8, n),
+            "comm_s": rng.exponential(0.01, n),
+            "load": rng.normal(1.0, 0.1, n),
+        }
+    )
+
+
+class TestFluent:
+    def test_where_filters(self, table):
+        out = Query(table).where("rank", "==", 3).run()
+        assert (out["rank"] == 3).all()
+
+    def test_where_conjunction(self, table):
+        out = Query(table).where("rank", ">=", 2).where("rank", "<", 4).run()
+        assert set(np.unique(out["rank"])) <= {2, 3}
+
+    def test_unknown_operator(self, table):
+        with pytest.raises(ValueError):
+            Query(table).where("rank", "~=", 1)
+
+    def test_groupby_agg_matches_numpy(self, table):
+        out = (
+            Query(table)
+            .group_by("rank")
+            .agg(("comm_s", "mean"), ("comm_s", "max"), ("comm_s", "count"))
+            .run()
+        )
+        for i, r in enumerate(out["rank"]):
+            mask = table["rank"] == r
+            assert out["mean_comm_s"][i] == pytest.approx(table["comm_s"][mask].mean())
+            assert out["max_comm_s"][i] == pytest.approx(table["comm_s"][mask].max())
+            assert out["count_comm_s"][i] == mask.sum()
+
+    def test_multi_column_groupby(self, table):
+        out = (
+            Query(table)
+            .group_by("step", "rank")
+            .agg(("comm_s", "sum"))
+            .run()
+        )
+        # group keys unique
+        keys = set(zip(out["step"].tolist(), out["rank"].tolist()))
+        assert len(keys) == out.n_rows
+        total = out["sum_comm_s"].sum()
+        assert total == pytest.approx(table["comm_s"].sum())
+
+    def test_global_agg_without_groupby(self, table):
+        out = Query(table).agg(("load", "std"), ("load", "p50")).run()
+        assert out.n_rows == 1
+        assert out["std_load"][0] == pytest.approx(table["load"].std(), rel=1e-6)
+        assert out["p50_load"][0] == pytest.approx(np.median(table["load"]))
+
+    def test_order_and_limit(self, table):
+        out = (
+            Query(table)
+            .group_by("rank")
+            .agg(("comm_s", "mean"))
+            .order_by("mean_comm_s", desc=True)
+            .limit(3)
+            .run()
+        )
+        assert out.n_rows == 3
+        assert (np.diff(out["mean_comm_s"]) <= 0).all()
+
+    def test_groupby_requires_agg(self, table):
+        with pytest.raises(ValueError):
+            Query(table).group_by("rank").run()
+
+    def test_unknown_agg(self, table):
+        with pytest.raises(ValueError):
+            Query(table).agg(("comm_s", "median")).run()
+
+    def test_empty_result(self, table):
+        out = Query(table).where("rank", ">", 100).group_by("rank").agg(
+            ("comm_s", "mean")
+        ).run()
+        assert out.n_rows == 0
+
+    def test_quantile_aggregates(self, table):
+        out = Query(table).group_by("rank").agg(("comm_s", "p95"), ("comm_s", "p99")).run()
+        assert (out["p99_comm_s"] >= out["p95_comm_s"] - 1e-15).all()
+
+
+class TestSQL:
+    def test_select_columns(self, table):
+        out = sql(table, "SELECT rank, comm_s FROM t LIMIT 5")
+        assert out.names == ["rank", "comm_s"]
+        assert out.n_rows == 5
+
+    def test_star(self, table):
+        out = sql(table, "SELECT * FROM telemetry WHERE rank = 0")
+        assert set(out.names) == set(table.names)
+        assert (out["rank"] == 0).all()
+
+    def test_group_order_limit(self, table):
+        out = sql(
+            table,
+            "SELECT rank, mean(comm_s) FROM t WHERE step >= 10 "
+            "GROUP BY rank ORDER BY mean_comm_s DESC LIMIT 2",
+        )
+        assert out.n_rows == 2
+        assert (np.diff(out["mean_comm_s"]) <= 0).all()
+
+    def test_implicit_group_by(self, table):
+        a = sql(table, "SELECT rank, max(load) FROM t")
+        b = sql(table, "SELECT rank, max(load) FROM t GROUP BY rank")
+        assert a == b.select(a.names) or a.n_rows == b.n_rows
+
+    def test_where_and(self, table):
+        out = sql(table, "SELECT * FROM t WHERE rank == 1 AND step < 5")
+        assert (out["rank"] == 1).all()
+        assert (out["step"] < 5).all()
+
+    def test_parse_errors(self, table):
+        with pytest.raises(ValueError):
+            sql(table, "DELETE FROM t")
+        with pytest.raises(ValueError):
+            sql(table, "SELECT * FROM t WHERE rank LIKE 3")
+
+    def test_asc_order(self, table):
+        out = sql(table, "SELECT rank, mean(comm_s) FROM t GROUP BY rank ORDER BY rank")
+        assert (np.diff(out["rank"]) > 0).all()
+
+    def test_trailing_semicolon(self, table):
+        out = sql(table, "SELECT rank FROM t LIMIT 1;")
+        assert out.n_rows == 1
+
+
+class TestAggregateNumerics:
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=40))
+    def test_sum_mean_consistency(self, vals):
+        t = ColumnTable({"g": np.zeros(len(vals), dtype=np.int64),
+                         "v": np.asarray(vals)})
+        out = Query(t).group_by("g").agg(("v", "sum"), ("v", "mean"), ("v", "count")).run()
+        assert out["sum_v"][0] == pytest.approx(sum(vals), rel=1e-9)
+        assert out["mean_v"][0] == pytest.approx(np.mean(vals), rel=1e-9)
+        assert out["count_v"][0] == len(vals)
