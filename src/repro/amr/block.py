@@ -106,6 +106,14 @@ class BlockCostTracker:
     def estimates(self, indices: list[BlockIndex]) -> np.ndarray:
         return np.asarray([self.estimate(i) for i in indices], dtype=np.float64)
 
+    def state(self) -> dict[BlockIndex, float]:
+        """Copy of the estimate table, for checkpointing."""
+        return dict(self._est)
+
+    def load_state(self, estimates: dict[BlockIndex, float]) -> None:
+        """Replace the estimate table from a checkpoint."""
+        self._est = dict(estimates)
+
     def forget_except(self, live: set[BlockIndex]) -> None:
         """Drop estimates for blocks no longer in the mesh (bounded memory)."""
         self._est = {k: v for k, v in self._est.items() if k in live}

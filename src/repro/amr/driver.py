@@ -77,6 +77,15 @@ class RunSummary:
     msg_intra_rank: float = 0.0
     msg_local: float = 0.0
     msg_remote: float = 0.0
+    #: resilience counters (populated by the resilient driver; zero for
+    #: plain runs)
+    n_checkpoints: int = 0
+    n_restores: int = 0
+    n_evictions: int = 0
+    n_drain_enables: int = 0
+    n_policy_fallbacks: int = 0
+    mitigation_s: float = 0.0       #: simulated seconds spent on mitigations
+    evicted_nodes: tuple = ()       #: original ids of nodes dropped mid-run
 
     @property
     def remote_fraction(self) -> float:
@@ -105,12 +114,18 @@ def run_trajectory(
     epochs: Iterable[SedovEpoch],
     cluster: Cluster,
     config: DriverConfig = DriverConfig(),
+    health_monitor=None,
 ) -> RunSummary:
     """Run one policy over a workload trajectory; returns the summary.
 
     ``epochs`` may be a generator (single pass) or a list (shared across
     policies).  The policy sees *measured* costs — true costs perturbed
     by measurement noise — never the true costs themselves.
+
+    ``health_monitor`` (a :class:`repro.resilience.HealthMonitor`) is
+    observed at every epoch boundary but never acted on — passive
+    detection without mitigation.  The mitigating loop lives in
+    :func:`repro.resilience.run_resilient_trajectory`.
     """
     rng = np.random.default_rng(config.seed)
     model = BSPModel(
@@ -209,6 +224,8 @@ def run_trajectory(
         total_steps += epoch.n_steps
         prev_blocks = epoch.blocks
         prev_assignment = assignment
+        if health_monitor is not None:
+            health_monitor.observe(collector, epoch.index)
 
     phases = collector.phase_totals()
     msg_mean = msg_acc / max(total_steps, 1)

@@ -7,6 +7,8 @@ Subcommands mirror the evaluation section:
 * ``scalebench`` — Fig. 7b/7c makespan + overhead sweep
 * ``tuning``     — the Figs. 1–3 case studies
 * ``place``      — one placement computation on synthetic costs
+* ``resilience`` — three-arm fault/mitigation experiment (checkpoint,
+  restart, online eviction)
 * ``policies``   — list registered placement policies
 
 Examples::
@@ -63,6 +65,28 @@ def build_parser() -> argparse.ArgumentParser:
     pl.add_argument("--distribution", default="exponential",
                     choices=["exponential", "gaussian", "power-law"])
     pl.add_argument("--seed", type=int, default=0)
+
+    r = sub.add_parser(
+        "resilience",
+        help="three-arm fault/mitigation experiment (healthy vs "
+        "unmitigated vs resilient)",
+    )
+    r.add_argument("--ranks", type=int, default=256,
+                   help="simulation ranks (multiple of 16)")
+    r.add_argument("--steps", type=int, default=400)
+    r.add_argument("--policy", default="lpt")
+    r.add_argument("--seed", type=int, default=3)
+    r.add_argument("--crash-step", type=int, default=90,
+                   help="fail-stop crash step (-1 disables)")
+    r.add_argument("--crash-node", type=int, default=3)
+    r.add_argument("--throttle-step", type=int, default=120,
+                   help="thermal-throttle onset step (-1 disables)")
+    r.add_argument("--throttle-nodes", type=int, nargs="+", default=[5])
+    r.add_argument("--throttle-factor", type=float, default=8.0)
+    r.add_argument("--checkpoint-interval", type=int, default=2,
+                   help="epochs between driver checkpoints")
+    r.add_argument("--no-determinism-check", action="store_true",
+                   help="skip the same-seed re-run")
 
     sub.add_parser("policies", help="list registered placement policies")
     return p
@@ -157,6 +181,31 @@ def _cmd_place(args) -> int:
     return 0
 
 
+def _cmd_resilience(args) -> int:
+    from .resilience.experiment import (
+        ResilienceExperimentConfig,
+        run_resilience_experiment,
+    )
+
+    result = run_resilience_experiment(
+        ResilienceExperimentConfig(
+            n_ranks=args.ranks,
+            steps=args.steps,
+            policy=args.policy,
+            seed=args.seed,
+            crash_step=None if args.crash_step < 0 else args.crash_step,
+            crash_node=args.crash_node,
+            throttle_step=None if args.throttle_step < 0 else args.throttle_step,
+            throttle_nodes=tuple(args.throttle_nodes),
+            throttle_factor=args.throttle_factor,
+            checkpoint_interval_epochs=args.checkpoint_interval,
+            check_determinism=not args.no_determinism_check,
+        )
+    )
+    print(result.report())
+    return 0 if result.deterministic in (True, None) else 1
+
+
 def _cmd_policies(_args) -> int:
     from .core import available_policies
 
@@ -172,6 +221,7 @@ _COMMANDS = {
     "scalebench": _cmd_scalebench,
     "tuning": _cmd_tuning,
     "place": _cmd_place,
+    "resilience": _cmd_resilience,
     "policies": _cmd_policies,
 }
 

@@ -146,11 +146,18 @@ def get_policy(name: str, **kwargs) -> PlacementPolicy:
 
     ``cplx:<X>`` is accepted as shorthand for ``CPLX(x_percent=X)``, so
     the evaluation sweeps can be driven by strings (``cplx:50`` == CPL50).
+    ``guarded`` builds the default budgeted fallback chain
+    (:class:`repro.resilience.guard.GuardedPolicy`); both are resolved
+    lazily to keep import cycles out of the registry.
     """
     if name.startswith("cplx:"):
         from .cplx import CPLX
 
         return CPLX(x_percent=float(name.split(":", 1)[1]), **kwargs)
+    if name == "guarded":
+        from ..resilience.guard import GuardedPolicy
+
+        return GuardedPolicy(**kwargs)
     try:
         factory = _REGISTRY[name]
     except KeyError:

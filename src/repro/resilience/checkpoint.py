@@ -1,0 +1,221 @@
+"""Driver-state checkpoint/restart.
+
+A checkpoint captures everything the resilient driver needs to resume a
+run killed by a fail-stop crash *bit-identically*: the block→rank
+assignment, the cost tracker's per-block estimates, the full telemetry
+collector state, and — crucially for determinism — both RNG streams
+(the driver's measurement-noise stream and the BSP model's step-noise
+stream).  Restoring a checkpoint and replaying the remaining epochs
+produces exactly the phases the uninterrupted run would have produced.
+
+Two stores share one interface: :class:`MemoryCheckpointStore` (cheap,
+test-friendly) and :class:`DirectoryCheckpointStore`, which persists the
+checkpoint as a directory —
+
+* ``meta.json`` — scalars, the assignment, cluster/tuning state, both
+  RNG states, and the cost-tracker estimates keyed by block address;
+* ``steps.rprc`` / ``epochs.rprc`` / ``mitigations.rprc`` — the
+  collector's tables in the repo's binary columnar format.
+
+The format is self-describing and versioned; see ``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..mesh.geometry import BlockIndex
+from ..telemetry.columnar import (
+    ColumnTable,
+    CorruptTelemetryError,
+    read_table,
+    write_table,
+)
+
+__all__ = [
+    "DriverCheckpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DirectoryCheckpointStore",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+def _encode_block(index: BlockIndex) -> str:
+    return f"{index.level}|{','.join(str(c) for c in index.coords)}"
+
+
+def _decode_block(key: str) -> BlockIndex:
+    level, coords = key.split("|", 1)
+    return BlockIndex(int(level), tuple(int(c) for c in coords.split(",")))
+
+
+@dataclasses.dataclass
+class DriverCheckpoint:
+    """Complete resumable driver state at one epoch boundary.
+
+    ``epoch_index`` is the index (into the trajectory's epoch list) of
+    the *next* epoch to execute; ``assignment`` is the placement of the
+    epoch just completed, in that epoch's block order.  Progress
+    counters (``total_steps``, ``lb_invocations``, ``msg_acc``) reflect
+    logical progress — work re-done after a restore is not re-counted.
+    """
+
+    epoch_index: int
+    total_steps: int
+    lb_invocations: int
+    placement_s_max: float
+    msg_acc: np.ndarray
+    assignment: Optional[np.ndarray]
+    alive_nodes: Tuple[int, ...]          #: original node ids still in the job
+    node_speed_factor: np.ndarray         #: current cluster health state
+    n_ranks: int
+    drain_queue: bool
+    driver_rng_state: dict
+    model_rng_state: dict
+    tracker_estimates: Dict[BlockIndex, float]
+    tables: Dict[str, ColumnTable]        #: collector snapshot
+
+    def clone(self) -> "DriverCheckpoint":
+        """Deep copy, so restored state can't alias live driver state."""
+        return copy.deepcopy(self)
+
+
+class CheckpointStore(Protocol):
+    """Where checkpoints live.  Only the latest checkpoint is retained —
+    the driver's recovery model is single-level, like most production
+    AMR checkpointing (Schornbaum & Rüde keep one redundant snapshot)."""
+
+    def save(self, ckpt: DriverCheckpoint) -> None: ...
+    def load(self) -> Optional[DriverCheckpoint]: ...
+
+
+class MemoryCheckpointStore:
+    """In-process checkpoint store (deep-copied both ways)."""
+
+    def __init__(self) -> None:
+        self._ckpt: Optional[DriverCheckpoint] = None
+        self.n_saved = 0
+
+    def save(self, ckpt: DriverCheckpoint) -> None:
+        self._ckpt = ckpt.clone()
+        self.n_saved += 1
+
+    def load(self) -> Optional[DriverCheckpoint]:
+        return self._ckpt.clone() if self._ckpt is not None else None
+
+
+class DirectoryCheckpointStore:
+    """On-disk checkpoint store using the repo's columnar format."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.n_saved = 0
+
+    # ------------------------------------------------------------------ #
+
+    def save(self, ckpt: DriverCheckpoint) -> None:
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "epoch_index": ckpt.epoch_index,
+            "total_steps": ckpt.total_steps,
+            "lb_invocations": ckpt.lb_invocations,
+            "placement_s_max": ckpt.placement_s_max,
+            "msg_acc": [float(x) for x in ckpt.msg_acc],
+            "assignment": None
+            if ckpt.assignment is None
+            else [int(r) for r in ckpt.assignment],
+            "alive_nodes": [int(n) for n in ckpt.alive_nodes],
+            "node_speed_factor": [float(f) for f in ckpt.node_speed_factor],
+            "n_ranks": ckpt.n_ranks,
+            "drain_queue": ckpt.drain_queue,
+            "driver_rng_state": _jsonable_rng(ckpt.driver_rng_state),
+            "model_rng_state": _jsonable_rng(ckpt.model_rng_state),
+            "tracker": {
+                _encode_block(k): v for k, v in ckpt.tracker_estimates.items()
+            },
+        }
+        tmp = self.path / "meta.json.tmp"
+        tmp.write_text(json.dumps(meta))
+        for name, table in ckpt.tables.items():
+            write_table(table, self.path / f"{name}.rprc")
+        # Atomic-ish publish: the meta rename marks the checkpoint valid.
+        tmp.replace(self.path / "meta.json")
+        self.n_saved += 1
+
+    def load(self) -> Optional[DriverCheckpoint]:
+        meta_path = self.path / "meta.json"
+        if not meta_path.exists():
+            return None
+        try:
+            meta = json.loads(meta_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorruptTelemetryError(f"corrupt checkpoint meta: {exc}") from exc
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise CorruptTelemetryError(
+                f"checkpoint version {meta.get('version')} != {CHECKPOINT_VERSION}"
+            )
+        tables = {
+            name: read_table(self.path / f"{name}.rprc")
+            for name in ("steps", "epochs", "mitigations")
+        }
+        assignment = meta["assignment"]
+        return DriverCheckpoint(
+            epoch_index=meta["epoch_index"],
+            total_steps=meta["total_steps"],
+            lb_invocations=meta["lb_invocations"],
+            placement_s_max=meta["placement_s_max"],
+            msg_acc=np.asarray(meta["msg_acc"], dtype=np.float64),
+            assignment=None
+            if assignment is None
+            else np.asarray(assignment, dtype=np.int64),
+            alive_nodes=tuple(meta["alive_nodes"]),
+            node_speed_factor=np.asarray(
+                meta["node_speed_factor"], dtype=np.float64
+            ),
+            n_ranks=meta["n_ranks"],
+            drain_queue=meta["drain_queue"],
+            driver_rng_state=_rng_from_json(meta["driver_rng_state"]),
+            model_rng_state=_rng_from_json(meta["model_rng_state"]),
+            tracker_estimates={
+                _decode_block(k): float(v) for k, v in meta["tracker"].items()
+            },
+            tables=tables,
+        )
+
+
+def _jsonable_rng(state: dict) -> dict:
+    """Make a numpy BitGenerator state dict JSON-round-trippable.
+
+    PCG64 state is plain Python (big) ints already; this guards against
+    numpy scalar leakage from other generators.
+    """
+    def conv(x):
+        if isinstance(x, dict):
+            return {k: conv(v) for k, v in x.items()}
+        if isinstance(x, np.ndarray):
+            return {"__ndarray__": x.tolist(), "dtype": str(x.dtype)}
+        if isinstance(x, (np.integer,)):
+            return int(x)
+        return x
+
+    return conv(state)
+
+
+def _rng_from_json(state: dict) -> dict:
+    def conv(x):
+        if isinstance(x, dict):
+            if "__ndarray__" in x:
+                return np.asarray(x["__ndarray__"], dtype=np.dtype(x["dtype"]))
+            return {k: conv(v) for k, v in x.items()}
+        return x
+
+    return conv(state)

@@ -1,0 +1,198 @@
+"""The three-arm resilience experiment: healthy / unmitigated / resilient.
+
+One Sedov trajectory is run three ways under the same seed:
+
+* **healthy** — no faults at all: the floor;
+* **unmitigated** — the fault timeline with monitoring and
+  checkpointing disabled: a crash resubmits the job from scratch and
+  throttled nodes are never evicted (the paper's pre-lessons workflow);
+* **resilient** — the full detect → mitigate → checkpoint → recover
+  loop.
+
+The headline number is the *recovery fraction*:
+
+    (wall_unmitigated − wall_resilient) / (wall_unmitigated − wall_healthy)
+
+i.e. how much of the fault-induced slowdown the online mitigations win
+back (1.0 = resilient run as fast as a fault-free run, 0.0 = no better
+than doing nothing).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..amr.driver import DriverConfig, RunSummary
+from ..amr.sedov import SedovConfig, SedovEpoch, SedovWorkload
+from ..simnet.cluster import Cluster
+from ..simnet.faults import FaultTimeline, NodeCrash, ThrottleOnset
+from .driver import UNMITIGATED, ResilienceConfig, run_resilient_trajectory
+from .mitigation import kind_name
+
+__all__ = [
+    "ResilienceExperimentConfig",
+    "ResilienceExperimentResult",
+    "small_workload",
+    "run_resilience_experiment",
+]
+
+
+def small_workload(
+    n_ranks: int, steps: int = 200, seed: int = 7
+) -> List[SedovEpoch]:
+    """A reduced Sedov trajectory for resilience experiments.
+
+    Geometry-faithful at one root block per rank (8³-cell blocks on a
+    4 × 4 × (n/16) root grid), so it runs in seconds at a few hundred
+    ranks while keeping real refinement dynamics.
+    """
+    if n_ranks % 16 != 0 or n_ranks < 16:
+        raise ValueError("n_ranks must be a positive multiple of 16")
+    cfg = SedovConfig(
+        n_ranks=n_ranks,
+        mesh_cells=(32, 32, (n_ranks // 16) * 8),
+        block_cells=8,
+        t_total=steps,
+        seed=seed,
+    )
+    return SedovWorkload(cfg).full_trajectory()
+
+
+@dataclasses.dataclass(frozen=True)
+class ResilienceExperimentConfig:
+    """Scenario knobs for the three-arm experiment.
+
+    The default scenario on 256 ranks (16 nodes): node 3 fail-stops at
+    step 90, node 5 starts severe thermal throttling (8×) at step 120 —
+    the mid-run version of the paper's "one hot node poisons the
+    collective" case study.
+    """
+
+    n_ranks: int = 256
+    steps: int = 400
+    policy: str = "lpt"
+    seed: int = 3
+    workload_seed: int = 7
+    crash_step: Optional[int] = 90
+    crash_node: int = 3
+    throttle_step: Optional[int] = 120
+    throttle_nodes: tuple = (5,)
+    throttle_factor: Optional[float] = 8.0    #: None = cluster default (4x)
+    checkpoint_interval_epochs: int = 2
+    check_determinism: bool = True
+
+    def timeline(self) -> FaultTimeline:
+        events = []
+        if self.crash_step is not None:
+            events.append(NodeCrash(step=self.crash_step, node=self.crash_node))
+        if self.throttle_step is not None and self.throttle_nodes:
+            events.append(
+                ThrottleOnset(
+                    step=self.throttle_step,
+                    nodes=tuple(self.throttle_nodes),
+                    factor=self.throttle_factor,
+                )
+            )
+        return FaultTimeline(events=tuple(events))
+
+
+@dataclasses.dataclass
+class ResilienceExperimentResult:
+    """Summaries of the three arms plus derived headline numbers."""
+
+    healthy: RunSummary
+    unmitigated: RunSummary
+    resilient: RunSummary
+    deterministic: Optional[bool]   #: None when the check was skipped
+
+    @property
+    def recovery_fraction(self) -> float:
+        """Share of the fault-induced slowdown won back by mitigation."""
+        excess = self.unmitigated.wall_s - self.healthy.wall_s
+        if excess <= 0:
+            return 1.0
+        return (self.unmitigated.wall_s - self.resilient.wall_s) / excess
+
+    def mitigation_log(self) -> List[str]:
+        """Human-readable resilient-arm mitigation log lines."""
+        t = self.resilient.collector.mitigations_table()
+        lines = []
+        for i in range(t.n_rows):
+            lines.append(
+                f"step {int(t['step'][i]):>5}  epoch {int(t['epoch'][i]):>3}  "
+                f"{kind_name(int(t['kind'][i])):<15} "
+                f"nodes={int(t['n_nodes'][i])}  cost={float(t['cost_s'][i]):.2f}s"
+            )
+        return lines
+
+    def report(self) -> str:
+        rows = [
+            ("healthy (no faults)", self.healthy),
+            ("unmitigated", self.unmitigated),
+            ("resilient", self.resilient),
+        ]
+        out = []
+        for label, s in rows:
+            out.append(
+                f"{label:<22} wall={s.wall_s:9.1f}s  ranks={s.n_ranks:<5} "
+                f"ckpt={s.n_checkpoints} restore={s.n_restores} "
+                f"evict={s.n_evictions} drain={s.n_drain_enables} "
+                f"mitigation={s.mitigation_s:6.1f}s"
+            )
+        out.append("")
+        out.append("resilient-arm mitigation log:")
+        out.extend("  " + line for line in self.mitigation_log())
+        out.append("")
+        out.append(f"recovery fraction: {self.recovery_fraction:.1%} of the "
+                   f"fault-induced slowdown won back")
+        if self.deterministic is not None:
+            out.append(
+                "determinism: two same-seed resilient runs are "
+                + ("bit-identical" if self.deterministic else "DIVERGENT")
+            )
+        return "\n".join(out)
+
+
+def run_resilience_experiment(
+    config: ResilienceExperimentConfig = ResilienceExperimentConfig(),
+) -> ResilienceExperimentResult:
+    """Run the three arms (plus an optional determinism re-run)."""
+    epochs = small_workload(config.n_ranks, config.steps, config.workload_seed)
+    cluster = Cluster(n_ranks=config.n_ranks)
+    driver_cfg = DriverConfig(seed=config.seed)
+    timeline = config.timeline()
+    resilience = ResilienceConfig(
+        checkpoint_interval_epochs=config.checkpoint_interval_epochs
+    )
+
+    healthy = run_resilient_trajectory(
+        config.policy, epochs, cluster, driver_cfg,
+        resilience=resilience, timeline=FaultTimeline.static(),
+    )
+    unmitigated = run_resilient_trajectory(
+        config.policy, epochs, cluster, driver_cfg,
+        resilience=UNMITIGATED, timeline=timeline,
+    )
+    resilient = run_resilient_trajectory(
+        config.policy, epochs, cluster, driver_cfg,
+        resilience=resilience, timeline=timeline,
+    )
+    deterministic: Optional[bool] = None
+    if config.check_determinism:
+        rerun = run_resilient_trajectory(
+            config.policy, epochs, cluster, driver_cfg,
+            resilience=resilience, timeline=timeline,
+        )
+        deterministic = (
+            rerun.wall_s == resilient.wall_s
+            and rerun.phase_rank_seconds == resilient.phase_rank_seconds
+            and rerun.n_evictions == resilient.n_evictions
+            and rerun.evicted_nodes == resilient.evicted_nodes
+        )
+    return ResilienceExperimentResult(
+        healthy=healthy,
+        unmitigated=unmitigated,
+        resilient=resilient,
+        deterministic=deterministic,
+    )

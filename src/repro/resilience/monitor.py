@@ -1,0 +1,83 @@
+"""Online health monitoring at epoch boundaries.
+
+The offline workflow — run, dump telemetry, run the detectors, edit the
+hostfile, rerun — becomes an online loop: at each epoch boundary the
+driver hands the monitor its collector, the monitor re-runs the
+windowed detectors (:func:`repro.telemetry.anomaly.assess_window`) over
+the trailing step records, and the resulting assessment drives the
+mitigation engine.
+
+The monitor also owns the *cooldown* logic: after the cluster is
+reconfigured (eviction shrinks the world, rank/node ids renumber), the
+trailing window still contains pre-reconfiguration rows whose node ids
+no longer mean anything, so assessments are suppressed until the window
+has refilled with post-reconfiguration records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..telemetry.anomaly import AnomalyAssessment, WindowConfig, assess_window
+from ..telemetry.collector import TelemetryCollector
+
+__all__ = ["HealthMonitor"]
+
+
+class HealthMonitor:
+    """Windowed anomaly detection driven by the simulation loop.
+
+    Parameters
+    ----------
+    config:
+        Window size and detector thresholds.
+
+    The monitor is stateful: it remembers every assessment (for
+    post-run inspection) and the record count at the last cluster
+    reconfiguration (for the cooldown).
+    """
+
+    def __init__(self, config: WindowConfig = WindowConfig()) -> None:
+        self.config = config
+        self.assessments: List[Tuple[int, AnomalyAssessment]] = []
+        self._records_at_reconfig = 0
+
+    # ------------------------------------------------------------------ #
+
+    def notify_reconfigured(self, collector: TelemetryCollector) -> None:
+        """Tell the monitor the cluster changed shape (starts a cooldown)."""
+        self._records_at_reconfig = collector.n_recorded_steps
+
+    def ready(self, collector: TelemetryCollector) -> bool:
+        """Whether the trailing window is entirely post-reconfiguration."""
+        fresh = collector.n_recorded_steps - self._records_at_reconfig
+        return fresh >= self.config.window_steps
+
+    def observe(
+        self, collector: TelemetryCollector, epoch: int
+    ) -> Optional[AnomalyAssessment]:
+        """Assess the trailing window; ``None`` while cooling down."""
+        if not self.ready(collector):
+            return None
+        window = collector.recent_steps_table(self.config.window_steps)
+        assessment = assess_window(window, collector.ranks_per_node, self.config)
+        self.assessments.append((epoch, assessment))
+        return assessment
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_alerts(self) -> int:
+        """Assessments that flagged at least one anomaly."""
+        return sum(1 for _, a in self.assessments if a.any)
+
+    def flagged_nodes(self) -> List[int]:
+        """Union of throttled-node flags across all assessments.
+
+        Node ids are as-numbered at assessment time; after an eviction
+        the same physical node appears under its renumbered id.
+        """
+        seen: set[int] = set()
+        for _, a in self.assessments:
+            seen.update(a.throttle.throttled_nodes)
+        return sorted(seen)

@@ -12,7 +12,15 @@ that share the same environment description:
 
 from .cluster import Cluster
 from .events import Emit, Engine, SimEvent, Timeout, WaitEvent
-from .faults import NO_FAULTS, FaultModel
+from .faults import (
+    NO_FAULTS,
+    FabricDegradation,
+    FaultEvent,
+    FaultModel,
+    FaultTimeline,
+    NodeCrash,
+    ThrottleOnset,
+)
 from .machine import DEFAULT_FABRIC, DEFAULT_MACHINE, FabricSpec, MachineSpec
 from .mpi import PhaseTimes, Request, SimMPI
 from .runtime import BSPModel, ExchangePattern, StepPhases
@@ -30,10 +38,15 @@ __all__ = [
     "Emit",
     "Engine",
     "ExchangePattern",
+    "FabricDegradation",
     "FabricSpec",
+    "FaultEvent",
     "FaultModel",
+    "FaultTimeline",
     "MachineSpec",
     "NO_FAULTS",
+    "NodeCrash",
+    "ThrottleOnset",
     "PhaseTimes",
     "Request",
     "SimEvent",

@@ -83,14 +83,91 @@ class Cluster:
         nodes = np.arange(self.n_ranks) // self.ranks_per_node
         return self.node_speed_factor[nodes]
 
-    def throttle_nodes(self, node_ids: Sequence[int]) -> "Cluster":
-        """Return a copy with the given nodes thermally throttled."""
-        factor = self.node_speed_factor.copy()
-        for nid in node_ids:
+    def _check_node_ids(self, node_ids: Sequence[int], what: str) -> List[int]:
+        """Validate a node-id list: integral, in range, no duplicates."""
+        ids = [int(n) for n in node_ids]
+        seen = set()
+        for nid in ids:
             if not 0 <= nid < self.n_nodes:
-                raise ValueError(f"node {nid} out of range [0, {self.n_nodes})")
-            factor[nid] = self.machine.throttle_factor
-        return dataclasses.replace(self, node_speed_factor=factor)
+                raise ValueError(
+                    f"cannot {what} node {nid}: out of range [0, {self.n_nodes})"
+                )
+            if nid in seen:
+                raise ValueError(f"cannot {what} node {nid} twice (duplicate id)")
+            seen.add(nid)
+        return ids
+
+    def _ranks_on_node(self, nid: int) -> int:
+        """Ranks hosted by a node (dense packing; only the last is partial)."""
+        if nid == self.n_nodes - 1:
+            return self.n_ranks - self.ranks_per_node * (self.n_nodes - 1)
+        return self.ranks_per_node
+
+    def throttle_nodes(
+        self, node_ids: Sequence[int], factor: float | None = None
+    ) -> "Cluster":
+        """Return a copy with the given nodes thermally throttled.
+
+        ``factor`` overrides the machine's throttle factor (mid-run
+        onsets can be milder or harsher than the static default).
+        Re-throttling an already-throttled node is allowed (idempotent);
+        duplicate ids *within one call* are rejected as caller bugs.
+        """
+        ids = self._check_node_ids(node_ids, "throttle")
+        if factor is not None and factor < 1.0:
+            raise ValueError("throttle factor must be >= 1 (slowdown multiplier)")
+        f = self.machine.throttle_factor if factor is None else float(factor)
+        speed = self.node_speed_factor.copy()
+        for nid in ids:
+            speed[nid] = f
+        return dataclasses.replace(self, node_speed_factor=speed)
+
+    def evict_nodes(self, node_ids: Sequence[int]) -> "Cluster":
+        """Drop specific nodes and renumber the survivors densely.
+
+        The online analogue of :meth:`pruned`: mid-run mitigation evicts
+        nodes flagged by the health monitor (or killed by a fail-stop
+        crash) and the job continues on the healthy subset with fewer
+        ranks — like editing the hostfile and relaunching, except the
+        runtime shrinks the communicator in place.  Surviving nodes keep
+        their health state.  Use :meth:`eviction_rank_map` to translate
+        old rank ids into the shrunken numbering.
+        """
+        ids = self._check_node_ids(node_ids, "evict")
+        if not ids:
+            return self
+        bad = set(ids)
+        keep = [i for i in range(self.n_nodes) if i not in bad]
+        if not keep:
+            raise RuntimeError("eviction would remove every node")
+        n_ranks = sum(self._ranks_on_node(i) for i in keep)
+        return Cluster(
+            n_ranks=n_ranks,
+            machine=self.machine,
+            node_speed_factor=self.node_speed_factor[keep],
+            nodes_per_switch=self.nodes_per_switch,
+        )
+
+    def eviction_rank_map(self, node_ids: Sequence[int]) -> np.ndarray:
+        """Old-rank → new-rank map for :meth:`evict_nodes` (−1 = evicted).
+
+        Lets the driver carry a block→rank assignment across an eviction:
+        blocks on surviving ranks keep a (renumbered) owner; blocks on
+        evicted ranks map to −1 and must be re-materialized elsewhere.
+        """
+        ids = self._check_node_ids(node_ids, "evict")
+        bad = set(ids)
+        out = np.full(self.n_ranks, -1, dtype=np.int64)
+        new_rank = 0
+        for nid in range(self.n_nodes):
+            n_here = self._ranks_on_node(nid)
+            base = nid * self.ranks_per_node
+            if nid in bad:
+                continue
+            for k in range(n_here):
+                out[base + k] = new_rank
+                new_rank += 1
+        return out
 
     def unhealthy_nodes(self, threshold: float = 1.5) -> List[int]:
         """Nodes whose speed factor exceeds ``threshold`` (health check)."""

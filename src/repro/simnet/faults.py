@@ -9,6 +9,16 @@ work could begin:
   acknowledgment and the driver's recovery path blocks the *sender* in
   ``MPI_Wait`` even though the receiver already has the data (Fig. 1b).
 
+Two layers of injection:
+
+* :class:`FaultModel` — *static* faults present from job start (the
+  paper's pre-run health-check scenario);
+* :class:`FaultTimeline` — a static base plus *events* that onset
+  mid-run: :class:`ThrottleOnset` (a node starts throttling at a given
+  step), :class:`NodeCrash` (fail-stop node loss), and
+  :class:`FabricDegradation` (a transient window of elevated ACK loss).
+  A timeline with no events degenerates exactly to its static base.
+
 Injection is deterministic given the seed so experiments are exactly
 reproducible.
 """
@@ -16,12 +26,21 @@ reproducible.
 from __future__ import annotations
 
 import dataclasses
+from typing import List, Tuple, Union
 
 import numpy as np
 
 from .cluster import Cluster
 
-__all__ = ["FaultModel", "NO_FAULTS"]
+__all__ = [
+    "FaultModel",
+    "NO_FAULTS",
+    "ThrottleOnset",
+    "NodeCrash",
+    "FabricDegradation",
+    "FaultEvent",
+    "FaultTimeline",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,23 +67,43 @@ class FaultModel:
     seed: int = 12345
 
     def __post_init__(self) -> None:
+        # Seed/fraction interactions are validated here, in one place:
+        # node selection below is a deterministic function of (seed,
+        # fraction, n_nodes), so both must be well-formed together.
         if not 0.0 <= self.throttled_node_fraction <= 1.0:
             raise ValueError("throttled_node_fraction must be in [0, 1]")
         if not 0.0 <= self.ack_loss_prob <= 1.0:
             raise ValueError("ack_loss_prob must be in [0, 1]")
         if self.ack_recovery_s < 0:
             raise ValueError("ack_recovery_s must be >= 0")
+        if not isinstance(self.seed, (int, np.integer)) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0 (numpy Generator requirement)")
+
+    def throttled_node_ids(self, n_nodes: int) -> List[int]:
+        """Deterministic fault-site selection for a cluster of ``n_nodes``.
+
+        At least one node is selected whenever the fraction is positive
+        (a tiny cluster still exhibits the fault), never more than
+        ``n_nodes``.
+        """
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.throttled_node_fraction == 0.0:
+            return []
+        rng = np.random.default_rng(self.seed)
+        n_bad = int(round(self.throttled_node_fraction * n_nodes))
+        n_bad = min(max(n_bad, 1), n_nodes)
+        bad = rng.choice(n_nodes, size=n_bad, replace=False)
+        return sorted(int(b) for b in bad)
 
     def apply_to_cluster(self, cluster: Cluster) -> Cluster:
         """Throttle the selected fraction of nodes (deterministic)."""
-        if self.throttled_node_fraction == 0.0:
+        bad = self.throttled_node_ids(cluster.n_nodes)
+        if not bad:
             return cluster
-        rng = np.random.default_rng(self.seed)
-        n_bad = int(round(self.throttled_node_fraction * cluster.n_nodes))
-        if n_bad == 0 and self.throttled_node_fraction > 0:
-            n_bad = 1
-        bad = rng.choice(cluster.n_nodes, size=min(n_bad, cluster.n_nodes), replace=False)
-        return cluster.throttle_nodes([int(b) for b in bad])
+        return cluster.throttle_nodes(bad)
 
     def ack_stall_expectation(
         self, remote_sends_per_rank: np.ndarray, drain_queue: bool
@@ -105,3 +144,161 @@ class FaultModel:
 
 #: A healthy cluster and fabric.
 NO_FAULTS = FaultModel()
+
+
+# --------------------------------------------------------------------- #
+# Mid-run fault events
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class ThrottleOnset:
+    """Thermal throttling that *begins* mid-run on specific nodes.
+
+    ``nodes`` are original (job-start) node ids; the resilient driver
+    maps them through evictions.  ``factor`` overrides the machine's
+    default throttle factor when given.
+    """
+
+    step: int
+    nodes: Tuple[int, ...]
+    factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("onset step must be >= 0")
+        nodes = tuple(int(n) for n in self.nodes)
+        if not nodes:
+            raise ValueError("ThrottleOnset needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise ValueError(f"duplicate node ids in {nodes}")
+        if any(n < 0 for n in nodes):
+            raise ValueError(f"node ids must be >= 0, got {nodes}")
+        object.__setattr__(self, "nodes", nodes)
+        if self.factor is not None and self.factor < 1.0:
+            raise ValueError("throttle factor must be >= 1")
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeCrash:
+    """Fail-stop loss of one node at a given step (kills the job)."""
+
+    step: int
+    node: int
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("crash step must be >= 0")
+        if self.node < 0:
+            raise ValueError("node id must be >= 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricDegradation:
+    """A transient window of elevated fabric ACK loss.
+
+    Active for steps in ``[step, end_step)``.  ``ack_recovery_s`` of
+    ``None`` keeps the base model's recovery time.
+    """
+
+    step: int
+    end_step: int
+    ack_loss_prob: float
+    ack_recovery_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ValueError("window start step must be >= 0")
+        if self.end_step <= self.step:
+            raise ValueError(
+                f"window [{self.step}, {self.end_step}) is empty or inverted"
+            )
+        if not 0.0 <= self.ack_loss_prob <= 1.0:
+            raise ValueError("ack_loss_prob must be in [0, 1]")
+        if self.ack_recovery_s is not None and self.ack_recovery_s < 0:
+            raise ValueError("ack_recovery_s must be >= 0")
+
+
+FaultEvent = Union[ThrottleOnset, NodeCrash, FabricDegradation]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultTimeline:
+    """A static fault base plus mid-run fault events.
+
+    The degenerate case — no events — behaves exactly like the static
+    :class:`FaultModel` it wraps, so existing static experiments are a
+    subset of timeline experiments.
+    """
+
+    base: FaultModel = NO_FAULTS
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        events = tuple(self.events)
+        for e in events:
+            if not isinstance(e, (ThrottleOnset, NodeCrash, FabricDegradation)):
+                raise TypeError(f"unsupported fault event {e!r}")
+        crashed = [e.node for e in events if isinstance(e, NodeCrash)]
+        if len(set(crashed)) != len(crashed):
+            raise ValueError(f"a node can only crash once; got crashes on {crashed}")
+        object.__setattr__(
+            self, "events", tuple(sorted(events, key=lambda e: e.step))
+        )
+
+    @classmethod
+    def static(cls, model: FaultModel = NO_FAULTS) -> "FaultTimeline":
+        """The degenerate timeline: static faults only."""
+        return cls(base=model)
+
+    @property
+    def is_static(self) -> bool:
+        return not self.events
+
+    # -- queries the resilient driver runs per epoch -------------------- #
+
+    def throttle_onsets_in(self, step_lo: int, step_hi: int) -> List[ThrottleOnset]:
+        """Throttle onsets firing in ``[step_lo, step_hi)``."""
+        return [
+            e
+            for e in self.events
+            if isinstance(e, ThrottleOnset) and step_lo <= e.step < step_hi
+        ]
+
+    def crashes_in(self, step_lo: int, step_hi: int) -> List[NodeCrash]:
+        """Fail-stop crashes firing in ``[step_lo, step_hi)``."""
+        return [
+            e
+            for e in self.events
+            if isinstance(e, NodeCrash) and step_lo <= e.step < step_hi
+        ]
+
+    def throttle_onsets_until(self, step: int) -> List[ThrottleOnset]:
+        """All onsets at or before ``step`` (catch-up after a restore:
+        a thermally throttled node stays throttled across job restarts)."""
+        return [
+            e
+            for e in self.events
+            if isinstance(e, ThrottleOnset) and e.step <= step
+        ]
+
+    def fault_model_at(self, step: int) -> FaultModel:
+        """Effective static-equivalent fault model during ``step``.
+
+        Folds any active :class:`FabricDegradation` window into the base
+        model's ACK parameters (worst active window wins).
+        """
+        prob = self.base.ack_loss_prob
+        rec = self.base.ack_recovery_s
+        changed = False
+        for e in self.events:
+            if isinstance(e, FabricDegradation) and e.step <= step < e.end_step:
+                prob = max(prob, e.ack_loss_prob)
+                if e.ack_recovery_s is not None:
+                    rec = max(rec, e.ack_recovery_s)
+                changed = True
+        if not changed:
+            return self.base
+        return dataclasses.replace(
+            self.base, ack_loss_prob=prob, ack_recovery_s=rec
+        )

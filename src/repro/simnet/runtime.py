@@ -222,6 +222,36 @@ class BSPModel:
 
     # ------------------------------------------------------------------ #
 
+    def reconfigure(
+        self,
+        cluster: Cluster | None = None,
+        tuning: TuningConfig | None = None,
+        faults: FaultModel | None = None,
+    ) -> None:
+        """Apply mid-run environment changes without resetting the noise RNG.
+
+        The resilient driver calls this when a mitigation or fault onset
+        changes the world: node eviction shrinks the cluster, enabling
+        the drain queue swaps the tuning, a fabric-degradation window
+        swaps the effective fault model.  Keeping the RNG stream intact
+        preserves determinism across reconfigurations.
+        """
+        if cluster is not None:
+            self.cluster = cluster
+            self._speed = cluster.rank_speed_factor()
+        if tuning is not None:
+            self.tuning = tuning
+        if faults is not None:
+            self.faults = faults
+
+    def rng_state(self) -> dict:
+        """Snapshot of the noise-stream RNG (checkpointable)."""
+        return self.rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`rng_state`."""
+        self.rng.bit_generator.state = state
+
     def step(self, pattern: ExchangePattern, compute_scale: float = 1.0) -> StepPhases:
         """Simulate one timestep; returns per-rank phase times.
 

@@ -14,15 +14,24 @@ from .analysis import (
     work_time_correlation,
 )
 from .anomaly import (
+    AnomalyAssessment,
     SpikeReport,
     ThrottleReport,
+    WindowConfig,
+    assess_window,
     detect_throttled_nodes,
     detect_wait_spikes,
 )
 from .collector import TelemetryCollector
 from .dataset import Predicate, TelemetryDataset
 from .triggers import TriggerRule, TriggerSet, TriggeredCollector
-from .columnar import ColumnTable, read_stats, read_table, write_table
+from .columnar import (
+    ColumnTable,
+    CorruptTelemetryError,
+    read_stats,
+    read_table,
+    write_table,
+)
 from .compare import PhaseComparison, RunComparison, compare_runs
 from .tracefmt import EventTrace, TraceEvent, trace_to_table
 from .query import AGGREGATES, Query, sql
@@ -31,8 +40,12 @@ from .schema import EPOCH_SCHEMA, RANK_STEP_SCHEMA
 
 __all__ = [
     "AGGREGATES",
+    "AnomalyAssessment",
     "ColumnTable",
+    "CorruptTelemetryError",
     "EPOCH_SCHEMA",
+    "WindowConfig",
+    "assess_window",
     "EventTrace",
     "PhaseComparison",
     "RunComparison",

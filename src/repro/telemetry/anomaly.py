@@ -22,8 +22,11 @@ from .columnar import ColumnTable
 __all__ = [
     "ThrottleReport",
     "SpikeReport",
+    "WindowConfig",
+    "AnomalyAssessment",
     "detect_throttled_nodes",
     "detect_wait_spikes",
+    "assess_window",
 ]
 
 
@@ -109,3 +112,103 @@ def detect_wait_spikes(
     thresh = max(med + k_mad * max(mad, 1e-12), med + min_spike_s)
     rows = np.nonzero(vals > thresh)[0]
     return SpikeReport(int(rows.shape[0]), rows, thresh, med)
+
+
+# --------------------------------------------------------------------- #
+# Windowed online assessment
+# --------------------------------------------------------------------- #
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowConfig:
+    """Thresholds for one windowed anomaly assessment.
+
+    Online detection runs the same detectors as the offline analysis but
+    over a short trailing window of step records, so thresholds are more
+    conservative: a window has far fewer rows than a full run and a
+    false eviction is expensive.
+
+    Attributes
+    ----------
+    window_steps:
+        Trailing (sampled) step records per assessment window.
+    slowdown_threshold:
+        Node-level compute inflation that flags a node as throttled.
+    spike_k_mad:
+        MAD multiplier for the wait-spike threshold.
+    min_spike_s:
+        Absolute floor added to the spike threshold — windows of nearly
+        constant comm time otherwise flag sub-millisecond jitter.
+    min_rows:
+        Minimum rows for an assessment; smaller windows report healthy
+        (not enough evidence to act on).
+    """
+
+    window_steps: int = 8
+    slowdown_threshold: float = 2.0
+    spike_k_mad: float = 12.0
+    min_spike_s: float = 2.0e-3
+    min_rows: int = 64
+
+    def __post_init__(self) -> None:
+        if self.window_steps < 1:
+            raise ValueError("window_steps must be >= 1")
+        if self.slowdown_threshold <= 1.0:
+            raise ValueError("slowdown_threshold must be > 1")
+        if self.spike_k_mad <= 0 or self.min_spike_s < 0:
+            raise ValueError("spike thresholds must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class AnomalyAssessment:
+    """Joint outcome of one windowed detector pass."""
+
+    throttle: ThrottleReport
+    spikes: SpikeReport
+    #: True when the flagged spikes sit on ranks with remote traffic —
+    #: the ACK-recovery signature (Fig. 1b), as opposed to local-queue
+    #: contention; gates the drain-queue mitigation.
+    spikes_implicate_ack: bool
+    n_rows: int
+
+    @property
+    def any(self) -> bool:
+        return self.throttle.any or self.spikes.any
+
+
+def assess_window(
+    table: ColumnTable,
+    ranks_per_node: int,
+    config: WindowConfig = WindowConfig(),
+) -> AnomalyAssessment:
+    """Run both detectors over one trailing telemetry window.
+
+    This is the online-monitoring primitive: the resilient driver calls
+    it at each epoch boundary on :meth:`TelemetryCollector
+    .recent_steps_table` output, and feeds the assessment to the
+    mitigation engine.
+    """
+    if table.n_rows < config.min_rows:
+        empty = np.empty(0, dtype=np.int64)
+        return AnomalyAssessment(
+            throttle=ThrottleReport([], np.empty(0), 0.0),
+            spikes=SpikeReport(0, empty, 0.0, 0.0),
+            spikes_implicate_ack=False,
+            n_rows=table.n_rows,
+        )
+    throttle = detect_throttled_nodes(
+        table, ranks_per_node, slowdown_threshold=config.slowdown_threshold
+    )
+    spikes = detect_wait_spikes(
+        table, "comm_s", k_mad=config.spike_k_mad, min_spike_s=config.min_spike_s
+    )
+    implicated = False
+    if spikes.any and "msgs_remote" in table:
+        remote = table["msgs_remote"][spikes.spike_rows]
+        implicated = bool(np.mean(remote > 0) > 0.5)
+    return AnomalyAssessment(
+        throttle=throttle,
+        spikes=spikes,
+        spikes_implicate_ack=implicated,
+        n_rows=table.n_rows,
+    )

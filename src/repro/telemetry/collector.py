@@ -49,8 +49,28 @@ class TelemetryCollector:
                 "n_coarsened", "placement_s", "migration_blocks", "epoch_wall_s",
             )
         }
+        self._mitigations: Dict[str, List[float]] = {
+            k: [] for k in ("step", "epoch", "kind", "n_nodes", "cost_s")
+        }
 
     # ------------------------------------------------------------------ #
+
+    def reconfigure(self, n_ranks: int, ranks_per_node: int | None = None) -> None:
+        """Adjust the world size mid-run (node eviction shrinks the job).
+
+        Existing records are kept; subsequent :meth:`record_step` calls
+        expect arrays of the new size.  Rank/node ids in new records use
+        the post-eviction dense renumbering.
+        """
+        if n_ranks < 1:
+            raise ValueError("n_ranks must be >= 1")
+        if ranks_per_node is not None:
+            if ranks_per_node < 1:
+                raise ValueError("ranks_per_node must be >= 1")
+            self.ranks_per_node = ranks_per_node
+        self.n_ranks = n_ranks
+        self._rank_ids = np.arange(n_ranks, dtype=np.int64)
+        self._node_ids = self._rank_ids // self.ranks_per_node
 
     def record_step(
         self,
@@ -121,6 +141,28 @@ class TelemetryCollector:
         e["migration_blocks"].append(migration_blocks)
         e["epoch_wall_s"].append(epoch_wall_s)
 
+    def record_mitigation(
+        self,
+        step: int,
+        epoch: int,
+        kind: int,
+        n_nodes: int = 0,
+        cost_s: float = 0.0,
+    ) -> None:
+        """Log one resilience action (eviction, drain enable, checkpoint,
+        restore, policy fallback) into the run's telemetry.
+
+        ``kind`` is an integer code (telemetry dimensions are coded as
+        ints, like every other column); see
+        :data:`repro.resilience.MITIGATION_KINDS`.
+        """
+        m = self._mitigations
+        m["step"].append(step)
+        m["epoch"].append(epoch)
+        m["kind"].append(kind)
+        m["n_nodes"].append(n_nodes)
+        m["cost_s"].append(cost_s)
+
     # ------------------------------------------------------------------ #
 
     def steps_table(self) -> ColumnTable:
@@ -129,6 +171,28 @@ class TelemetryCollector:
         for name, chunks in self._steps.items():
             cols[name] = (
                 np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
+            )
+        return ColumnTable(cols)
+
+    @property
+    def n_recorded_steps(self) -> int:
+        """Number of (sampled) step records so far."""
+        return len(self._steps["step"])
+
+    def recent_steps_table(self, n_steps: int) -> ColumnTable:
+        """The last ``n_steps`` recorded step rows as a table.
+
+        This is the online-monitoring window: the resilient driver runs
+        the anomaly detectors over it at each epoch boundary instead of
+        waiting for the run to finish.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        cols = {}
+        for name, chunks in self._steps.items():
+            tail = chunks[-n_steps:]
+            cols[name] = (
+                np.concatenate(tail) if tail else np.empty(0, dtype=np.float64)
             )
         return ColumnTable(cols)
 
@@ -142,6 +206,52 @@ class TelemetryCollector:
             dtype = np.int64 if name in int_cols else np.float64
             cols[name] = np.asarray(vals, dtype=dtype)
         return ColumnTable(cols)
+
+    def mitigations_table(self) -> ColumnTable:
+        cols = {}
+        for name, vals in self._mitigations.items():
+            dtype = np.float64 if name == "cost_s" else np.int64
+            cols[name] = np.asarray(vals, dtype=dtype)
+        return ColumnTable(cols)
+
+    # ------------------------------------------------------------------ #
+
+    def snapshot_tables(self) -> Dict[str, ColumnTable]:
+        """Finalized copies of all accumulated telemetry (checkpointing)."""
+        return {
+            "steps": self.steps_table(),
+            "epochs": self.epochs_table(),
+            "mitigations": self.mitigations_table(),
+        }
+
+    def restore_tables(self, tables: Dict[str, ColumnTable]) -> None:
+        """Reset state to a :meth:`snapshot_tables` snapshot.
+
+        Step records are re-chunked at boundaries where the ``step``
+        column changes value (each :meth:`record_step` call writes a
+        constant-step chunk, and steps increase monotonically across a
+        run), so windowed queries keep working after a restore even when
+        chunks have different rank counts (pre/post eviction).
+        """
+        steps = tables["steps"]
+        sv = steps["step"]
+        if sv.size:
+            change = np.nonzero(np.diff(sv) != 0)[0] + 1
+            bounds = [0, *change.tolist(), sv.shape[0]]
+        else:
+            bounds = [0, 0]
+        for name in self._steps:
+            col = steps[name]
+            self._steps[name] = [
+                col[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+            ]
+        epochs = tables["epochs"]
+        for name in self._epochs:
+            self._epochs[name] = epochs[name].tolist()
+        mit = tables.get("mitigations")
+        if mit is not None:
+            for name in self._mitigations:
+                self._mitigations[name] = mit[name].tolist()
 
     def phase_totals(self) -> Dict[str, float]:
         """Weighted rank-second totals per phase across the whole run."""

@@ -27,10 +27,26 @@ from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ColumnTable", "write_table", "read_table", "read_stats"]
+__all__ = [
+    "ColumnTable",
+    "CorruptTelemetryError",
+    "write_table",
+    "read_table",
+    "read_stats",
+]
 
 _MAGIC = b"RPRC01\n"
 _SUPPORTED_KINDS = ("i", "u", "f", "b")
+
+
+class CorruptTelemetryError(ValueError):
+    """A columnar telemetry file is truncated or malformed.
+
+    Raised instead of leaking storage internals (``struct.error``,
+    ``json.JSONDecodeError``, numpy buffer errors) so callers can catch
+    one exception type for every flavour of on-disk corruption: wrong
+    magic, truncated header, garbage header JSON, truncated payload.
+    """
 
 
 class ColumnTable:
@@ -210,9 +226,23 @@ def write_table(table: ColumnTable, path: str | Path) -> int:
 def _read_header(fh: io.BufferedReader) -> dict:
     magic = fh.read(len(_MAGIC))
     if magic != _MAGIC:
-        raise ValueError(f"not a repro columnar file (magic {magic!r})")
-    (hlen,) = struct.unpack("<I", fh.read(4))
-    return json.loads(fh.read(hlen).decode())
+        raise CorruptTelemetryError(f"not a repro columnar file (magic {magic!r})")
+    raw_len = fh.read(4)
+    if len(raw_len) < 4:
+        raise CorruptTelemetryError("truncated file: header length field cut short")
+    (hlen,) = struct.unpack("<I", raw_len)
+    raw_header = fh.read(hlen)
+    if len(raw_header) < hlen:
+        raise CorruptTelemetryError(
+            f"truncated header: expected {hlen} bytes, file has {len(raw_header)}"
+        )
+    try:
+        header = json.loads(raw_header.decode())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptTelemetryError(f"garbage header JSON: {exc}") from exc
+    if not isinstance(header, dict) or "columns" not in header:
+        raise CorruptTelemetryError("header JSON is not a column manifest")
+    return header
 
 
 def read_stats(path: str | Path) -> Dict[str, Tuple[float, float]]:
@@ -244,7 +274,17 @@ def read_table(path: str | Path, columns: Sequence[str] | None = None) -> Column
                 continue
             fh.seek(base + c["offset"])
             raw = fh.read(c["nbytes"])
-            arr = np.frombuffer(raw, dtype=np.dtype(c["dtype"]))
+            if len(raw) < c["nbytes"]:
+                raise CorruptTelemetryError(
+                    f"truncated payload for column {c['name']!r}: expected "
+                    f"{c['nbytes']} bytes, file has {len(raw)}"
+                )
+            try:
+                arr = np.frombuffer(raw, dtype=np.dtype(c["dtype"]))
+            except (ValueError, TypeError) as exc:
+                raise CorruptTelemetryError(
+                    f"undecodable payload for column {c['name']!r}: {exc}"
+                ) from exc
             cols[c["name"]] = arr
         if want is not None:
             missing = want - set(cols)

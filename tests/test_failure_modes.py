@@ -12,6 +12,7 @@ import pytest
 from repro.core import get_policy
 from repro.telemetry import (
     ColumnTable,
+    CorruptTelemetryError,
     TelemetryDataset,
     read_stats,
     read_table,
@@ -20,13 +21,17 @@ from repro.telemetry import (
 
 
 class TestCorruptedColumnarFiles:
+    """Every corruption mode raises the *specific* CorruptTelemetryError
+    (a ValueError subclass) — callers can catch file corruption without
+    also swallowing unrelated bugs."""
+
     def test_truncated_payload(self, tmp_path):
         t = ColumnTable({"a": np.arange(100, dtype=np.int64)})
         p = tmp_path / "t.rprc"
         write_table(t, p)
         raw = p.read_bytes()
         p.write_bytes(raw[: len(raw) - 100])  # chop the payload
-        with pytest.raises(Exception):  # short read -> frombuffer error
+        with pytest.raises(CorruptTelemetryError, match="truncated"):
             read_table(p)
 
     def test_truncated_header(self, tmp_path):
@@ -34,7 +39,7 @@ class TestCorruptedColumnarFiles:
         p = tmp_path / "t.rprc"
         write_table(t, p)
         p.write_bytes(p.read_bytes()[:10])
-        with pytest.raises(Exception):
+        with pytest.raises(CorruptTelemetryError):
             read_table(p)
 
     def test_garbage_header_json(self, tmp_path):
@@ -42,14 +47,24 @@ class TestCorruptedColumnarFiles:
         import struct
 
         p.write_bytes(b"RPRC01\n" + struct.pack("<I", 4) + b"{{{{")
-        with pytest.raises(Exception):
+        with pytest.raises(CorruptTelemetryError):
             read_stats(p)
 
     def test_wrong_magic(self, tmp_path):
         p = tmp_path / "bad.rprc"
         p.write_bytes(b"PARQUET1" + b"\x00" * 64)
-        with pytest.raises(ValueError, match="magic"):
+        with pytest.raises(CorruptTelemetryError, match="magic"):
             read_table(p)
+
+    def test_corrupt_error_is_value_error(self):
+        # backward compatibility: existing except ValueError still works
+        assert issubclass(CorruptTelemetryError, ValueError)
+
+    def test_intact_file_roundtrips(self, tmp_path):
+        t = ColumnTable({"a": np.arange(100, dtype=np.int64)})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+        assert read_table(p) == t
 
 
 class TestCorruptedDataset:
