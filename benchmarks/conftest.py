@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.amr import SedovWorkload, scaled_config, table_i_config
 

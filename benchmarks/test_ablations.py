@@ -12,7 +12,6 @@
 import time
 
 import numpy as np
-import pytest
 
 from repro.core import (
     CPLX,

@@ -11,17 +11,14 @@
 4. Redistribution triggers — skipping unprofitable rebalances.
 """
 
-import time
 
 import numpy as np
-import pytest
 
 from repro.amr import ImbalanceTrigger
 from repro.bench import make_costs, random_refined_mesh
 from repro.core import (
     CPLX,
     GraphPartitionPolicy,
-    LPTPolicy,
     ZonalPolicy,
     edge_cut,
     get_policy,
@@ -40,7 +37,6 @@ def test_extension_hilbert_vs_morton(benchmark):
         graph = mesh.neighbor_graph
         n = mesh.n_blocks
         cluster = Cluster(n_ranks=256)
-        costs = np.ones(n)
 
         def contiguous_assignment(order_blocks):
             pos = {b: i for i, b in enumerate(order_blocks)}

@@ -8,10 +8,8 @@ without delaying the sender, shortening two-rank paths.
 
 import numpy as np
 
-from repro.amr import build_exchange_graph, rank_schedule
 from repro.critical_path import (
     compare_orderings,
-    execute_schedules,
     extract_critical_path,
     verify_two_rank_principle,
 )

@@ -8,13 +8,11 @@
     routes a majority of messages across nodes.
 """
 
-import numpy as np
 import pytest
 
-from repro.amr import run_trajectory
 from repro.bench import SedovSweepConfig, run_sedov_sweep
 
-from conftest import PAPER_SCALE, SEDOV_SCALES, SEDOV_STEPS, sedov_config, shared_trajectory
+from conftest import PAPER_SCALE, SEDOV_SCALES, SEDOV_STEPS
 
 
 @pytest.fixture(scope="module")
@@ -49,8 +47,8 @@ def test_fig6a_runtime_by_phase(benchmark, sweep):
               f"(paper: up to 21.6%)")
         assert 0.10 < red < 0.45
         # An intermediate X is within 5% of the best endpoint.
-        mids = [sweep.at(scale, l).wall_s for l in ("CPL25", "CPL50", "CPL75")]
-        ends = [sweep.at(scale, l).wall_s for l in ("CPL0", "CPL100")]
+        mids = [sweep.at(scale, lab).wall_s for lab in ("CPL25", "CPL50", "CPL75")]
+        ends = [sweep.at(scale, lab).wall_s for lab in ("CPL0", "CPL100")]
         assert min(mids) < min(ends) * 1.05
 
     # Impact grows (weakly) with scale.
@@ -68,12 +66,12 @@ def test_fig6b_comm_sync_tradeoff(benchmark, sweep):
     for scale in (sweep.scales()[0], sweep.scales()[-1]):
         base = sweep.at(scale, "baseline").summary.phase_rank_seconds
         comm = [
-            sweep.at(scale, l).summary.phase_rank_seconds["comm"] / base["comm"]
-            for l in ("CPL0", "CPL25", "CPL50", "CPL75", "CPL100")
+            sweep.at(scale, lab).summary.phase_rank_seconds["comm"] / base["comm"]
+            for lab in ("CPL0", "CPL25", "CPL50", "CPL75", "CPL100")
         ]
         sync = [
-            sweep.at(scale, l).summary.phase_rank_seconds["sync"] / base["sync"]
-            for l in ("CPL0", "CPL25", "CPL50", "CPL75", "CPL100")
+            sweep.at(scale, lab).summary.phase_rank_seconds["sync"] / base["sync"]
+            for lab in ("CPL0", "CPL25", "CPL50", "CPL75", "CPL100")
         ]
         # comm increases with X; sync decreases with X.
         assert all(b > a for a, b in zip(comm, comm[1:]))
@@ -87,8 +85,8 @@ def test_fig6c_message_locality(benchmark, sweep):
     print("\n" + sweep.fig6c_table())
     for scale in (sweep.scales()[0], sweep.scales()[-1]):
         fr = [
-            sweep.at(scale, l).remote_fraction
-            for l in ("CPL0", "CPL50", "CPL100")
+            sweep.at(scale, lab).remote_fraction
+            for lab in ("CPL0", "CPL50", "CPL100")
         ]
         assert fr[0] < fr[1] < fr[2]
         # SFC dimensionality reduction: baseline majority-remote already
@@ -96,7 +94,7 @@ def test_fig6c_message_locality(benchmark, sweep):
         assert sweep.at(scale, "baseline").remote_fraction > 0.5
         # MPI-visible volume grows as memcpy pairs become messages.
         vis = [
-            sweep.at(scale, l).msg_local + sweep.at(scale, l).msg_remote
-            for l in ("CPL0", "CPL100")
+            sweep.at(scale, lab).msg_local + sweep.at(scale, lab).msg_remote
+            for lab in ("CPL0", "CPL100")
         ]
         assert vis[1] > vis[0]

@@ -7,7 +7,6 @@ ranks (the paper's surprising U-shape).  Differences are sub-millisecond
 on a multi-millisecond base, as in the paper (~±0.5 ms).
 """
 
-import numpy as np
 import pytest
 
 from repro.bench import CommbenchConfig, run_commbench

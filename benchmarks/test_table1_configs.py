@@ -7,13 +7,11 @@ reduced scale the step counts are truncated but the geometry and the
 block-growth shape (final ~ 2-6x initial through shell refinement) hold.
 """
 
-import numpy as np
-import pytest
 
 from repro.amr import TABLE_I_CONFIGS
 from repro.bench import format_table
 
-from conftest import PAPER_SCALE, SEDOV_SCALES, sedov_config, shared_trajectory
+from conftest import PAPER_SCALE, SEDOV_SCALES, shared_trajectory
 
 PAPER_TABLE_I = {
     512: dict(t_total=30_590, t_lb=1_213, n_initial=512, n_final=2_080),

@@ -15,6 +15,7 @@ from .redistribution import (
     RedistributionOutcome,
     carry_assignment,
     redistribute,
+    remap_assignment,
 )
 from .sedov import (
     TABLE_I_CONFIGS,
@@ -60,6 +61,7 @@ __all__ = [
     "carry_assignment",
     "rank_schedule",
     "redistribute",
+    "remap_assignment",
     "run_trajectory",
     "scaled_config",
     "table_i_config",

@@ -1,112 +1,24 @@
-"""BSP simulation driver: policy × workload trajectory → telemetry.
+"""Top-level BSP simulation driver (the plain, fault-free arm).
 
-Executes the per-epoch loop of a block-based AMR code:
+The epoch loop itself lives in :class:`repro.engine.EpochEngine`;
+:func:`run_trajectory` is a thin wrapper that assembles the default
+hook stack (telemetry recording, optionally passive health monitoring)
+and is bit-identical to the pre-engine loop on the same seed.
 
-1. carry block ownership across the remesh;
-2. measure per-block costs via telemetry (with measurement noise) and
-   feed them to the placement policy — or feed all-ones for the
-   baseline arm, reproducing the framework default;
-3. redistribute (placement + migration charge);
-4. run the epoch's timesteps on the vectorized BSP model, recording
-   rank-step telemetry (sampled steps carry per-epoch weights).
-
-The trajectory is policy-independent, so experiment sweeps share one
-trajectory across arms (identical physics per arm, as on the real
-cluster).
+``DriverConfig`` and ``RunSummary`` moved to :mod:`repro.engine.types`
+and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional, Sequence
 
-import numpy as np
-
-from ..core.metrics import message_stats
 from ..core.policy import PlacementPolicy
+from ..engine.types import DriverConfig, RunSummary
 from ..simnet.cluster import Cluster
-from ..simnet.faults import NO_FAULTS, FaultModel
-from ..simnet.machine import DEFAULT_FABRIC, FabricSpec
-from ..simnet.runtime import BSPModel, ExchangePattern
-from ..simnet.tuning import TUNED, TuningConfig
-from ..telemetry.collector import TelemetryCollector
-from .block import BlockCostTracker
-from .redistribution import carry_assignment, redistribute
 from .sedov import SedovEpoch
 
 __all__ = ["DriverConfig", "RunSummary", "run_trajectory"]
-
-
-@dataclasses.dataclass(frozen=True)
-class DriverConfig:
-    """Execution-environment knobs for a simulated run."""
-
-    fabric: FabricSpec = DEFAULT_FABRIC
-    tuning: TuningConfig = TUNED
-    faults: FaultModel = NO_FAULTS
-    exchange_rounds: int = 4
-    #: fixed per-redistribution cost besides placement + migration: mesh
-    #: teardown/rebuild, neighbor re-discovery, buffer reallocation, and
-    #: the metadata collectives — the bulk of the paper's ~3% lb phase
-    redistribution_overhead_s: float = 0.030
-    #: sampled steps per epoch used to estimate the per-step noise
-    samples_per_epoch: int = 3
-    #: multiplicative measurement noise on telemetry-measured block costs
-    cost_measurement_sigma: float = 0.05
-    #: feed measured costs to the policy; False reproduces the framework
-    #: default of cost=1 for every block (the baseline's world view)
-    use_measured_costs: bool = True
-    seed: int = 0
-
-
-@dataclasses.dataclass
-class RunSummary:
-    """Aggregate results of one (policy, trajectory) run."""
-
-    policy: str
-    n_ranks: int
-    total_steps: int
-    n_epochs: int
-    lb_invocations: int
-    wall_s: float                   #: simulated end-to-end wall time
-    phase_rank_seconds: dict        #: compute/comm/sync/lb rank-second totals
-    final_blocks: int
-    placement_s_max: float          #: worst single placement computation
-    collector: TelemetryCollector
-    #: step-weighted mean per-step message-pair counts (Fig. 6c inputs)
-    msg_intra_rank: float = 0.0
-    msg_local: float = 0.0
-    msg_remote: float = 0.0
-    #: resilience counters (populated by the resilient driver; zero for
-    #: plain runs)
-    n_checkpoints: int = 0
-    n_restores: int = 0
-    n_evictions: int = 0
-    n_drain_enables: int = 0
-    n_policy_fallbacks: int = 0
-    mitigation_s: float = 0.0       #: simulated seconds spent on mitigations
-    evicted_nodes: tuple = ()       #: original ids of nodes dropped mid-run
-
-    @property
-    def remote_fraction(self) -> float:
-        """Remote share of MPI-visible messages (Fig. 6c's 64%)."""
-        vis = self.msg_local + self.msg_remote
-        return self.msg_remote / vis if vis else 0.0
-
-    def phase_fractions(self) -> dict:
-        total = sum(self.phase_rank_seconds.values())
-        if total == 0:
-            return {k: 0.0 for k in self.phase_rank_seconds}
-        return {k: v / total for k, v in self.phase_rank_seconds.items()}
-
-    def row(self) -> str:
-        f = self.phase_fractions()
-        return (
-            f"{self.policy:<10} ranks={self.n_ranks:<6} wall={self.wall_s:10.1f}s "
-            f"comp={f['compute']:6.1%} comm={f['comm']:6.1%} "
-            f"sync={f['sync']:6.1%} lb={f['lb']:6.1%} "
-            f"epochs={self.n_epochs} blocks={self.final_blocks}"
-        )
 
 
 def run_trajectory(
@@ -115,6 +27,7 @@ def run_trajectory(
     cluster: Cluster,
     config: DriverConfig = DriverConfig(),
     health_monitor=None,
+    hooks: Optional[Sequence] = None,
 ) -> RunSummary:
     """Run one policy over a workload trajectory; returns the summary.
 
@@ -126,121 +39,17 @@ def run_trajectory(
     observed at every epoch boundary but never acted on — passive
     detection without mitigation.  The mitigating loop lives in
     :func:`repro.resilience.run_resilient_trajectory`.
+
+    ``hooks`` appends extra :class:`repro.engine.EpochHook` instances
+    (e.g. a :class:`repro.engine.PhaseProfilerHook`) after the default
+    stack.
     """
-    rng = np.random.default_rng(config.seed)
-    model = BSPModel(
-        cluster,
-        fabric=config.fabric,
-        tuning=config.tuning,
-        faults=config.faults,
-        seed=config.seed,
-        exchange_rounds=config.exchange_rounds,
-    )
-    collector = TelemetryCollector(cluster.n_ranks, cluster.ranks_per_node)
-    tracker = BlockCostTracker()
+    from ..engine.core import EpochEngine
+    from ..engine.hooks import PassiveMonitorHook, TelemetryHook
 
-    prev_blocks = None
-    prev_assignment: Optional[np.ndarray] = None
-    wall = 0.0
-    total_steps = 0
-    n_epochs = 0
-    lb_invocations = 0
-    placement_max = 0.0
-    final_blocks = 0
-    msg_acc = np.zeros(3)  # intra-rank, local, remote (step-weighted)
-
-    for epoch in epochs:
-        n_epochs += 1
-        final_blocks = len(epoch.blocks)
-
-        # --- telemetry-driven cost measurement --------------------------
-        measured = epoch.base_costs * rng.lognormal(
-            0.0, config.cost_measurement_sigma, size=epoch.base_costs.shape[0]
-        )
-        tracker.observe_all(epoch.blocks, measured)
-        if config.use_measured_costs:
-            policy_costs = tracker.estimates(epoch.blocks)
-        else:
-            policy_costs = np.ones(len(epoch.blocks), dtype=np.float64)
-
-        # --- redistribution ---------------------------------------------
-        if prev_blocks is not None:
-            carried = carry_assignment(prev_blocks, prev_assignment, epoch.blocks)
-        else:
-            carried = None
-        outcome = redistribute(
-            policy, policy_costs, cluster.n_ranks, carried, config.fabric
-        )
-        assignment = outcome.result.assignment
-        placement_max = max(placement_max, outcome.placement_s)
-        if prev_blocks is not None:
-            lb_invocations += 1
-            lb_per_rank = outcome.lb_s + config.redistribution_overhead_s
-        else:
-            lb_per_rank = outcome.lb_s  # startup placement: no remesh cost
-
-        # --- simulate the epoch's steps ----------------------------------
-        pattern = ExchangePattern.from_mesh(
-            epoch.graph, assignment, epoch.base_costs, cluster, config.fabric
-        )
-        ms = message_stats(epoch.graph, assignment, cluster.ranks_per_node)
-        msg_acc += np.array([ms.intra_rank, ms.local, ms.remote]) * epoch.n_steps
-        k = min(epoch.n_steps, config.samples_per_epoch)
-        per_rank_blocks = np.bincount(assignment, minlength=cluster.n_ranks)
-        weight = epoch.n_steps / k
-        epoch_wall = 0.0
-        for s in range(k):
-            phases = model.step(pattern)
-            lb_term = lb_per_rank if s == 0 else 0.0
-            collector.record_step(
-                step=epoch.step_start + s,
-                epoch=epoch.index,
-                compute_s=phases.compute,
-                comm_s=phases.comm,
-                sync_s=phases.sync,
-                lb_s=np.full(cluster.n_ranks, lb_term / max(weight, 1.0))
-                if lb_term
-                else 0.0,
-                n_blocks=per_rank_blocks,
-                load=pattern.loads,
-                msgs_local=pattern.in_local.astype(np.int64),
-                msgs_remote=pattern.in_remote.astype(np.int64),
-                weight=weight,
-            )
-            epoch_wall += phases.step_time
-        epoch_wall = epoch_wall / k * epoch.n_steps + lb_per_rank
-        collector.record_epoch(
-            epoch=epoch.index,
-            step_start=epoch.step_start,
-            n_steps=epoch.n_steps,
-            n_blocks=len(epoch.blocks),
-            n_refined=epoch.n_refined,
-            n_coarsened=epoch.n_coarsened,
-            placement_s=outcome.placement_s,
-            migration_blocks=outcome.migrated_blocks,
-            epoch_wall_s=epoch_wall,
-        )
-        wall += epoch_wall
-        total_steps += epoch.n_steps
-        prev_blocks = epoch.blocks
-        prev_assignment = assignment
-        if health_monitor is not None:
-            health_monitor.observe(collector, epoch.index)
-
-    phases = collector.phase_totals()
-    msg_mean = msg_acc / max(total_steps, 1)
-    return RunSummary(
-        policy=policy.name,
-        n_ranks=cluster.n_ranks,
-        total_steps=total_steps,
-        n_epochs=n_epochs,
-        lb_invocations=lb_invocations,
-        wall_s=wall,
-        phase_rank_seconds=phases,
-        final_blocks=final_blocks,
-        placement_s_max=placement_max,
-        collector=collector,
-        msg_intra_rank=float(msg_mean[0]),
-        msg_local=float(msg_mean[1]),
-        msg_remote=float(msg_mean[2]),
-    )
+    stack = [TelemetryHook()]
+    if health_monitor is not None:
+        stack.append(PassiveMonitorHook(health_monitor))
+    if hooks:
+        stack.extend(hooks)
+    return EpochEngine(policy, epochs, cluster, config, hooks=stack).run()

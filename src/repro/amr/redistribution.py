@@ -24,7 +24,12 @@ from ..core.policy import PlacementPolicy, PlacementResult
 from ..mesh.geometry import BlockIndex
 from ..simnet.machine import FabricSpec
 
-__all__ = ["RedistributionOutcome", "redistribute", "carry_assignment"]
+__all__ = [
+    "RedistributionOutcome",
+    "redistribute",
+    "carry_assignment",
+    "remap_assignment",
+]
 
 #: Bytes per block payload: 16^3 cells x ~10 variables x 8 bytes.
 BLOCK_BYTES_DEFAULT = 16**3 * 10 * 8
@@ -71,6 +76,18 @@ def carry_assignment(
         if r is not None:
             out[i] = r
     return out
+
+
+def remap_assignment(assignment: np.ndarray, rank_map: np.ndarray) -> np.ndarray:
+    """Apply an eviction rank map to an assignment.
+
+    ``rank_map`` (from :meth:`Cluster.eviction_rank_map`) sends each old
+    rank to its post-eviction id, or -1 for ranks on evicted nodes.
+    Unowned blocks (-1, e.g. freshly created) stay -1; the carried
+    positions that map to -1 are the blocks lost with the node.
+    """
+    out = np.where(assignment >= 0, rank_map[assignment], -1)
+    return out.astype(np.int64)
 
 
 def redistribute(

@@ -17,7 +17,6 @@ provided verbatim (mesh geometry, block size, timestep counts).
 from __future__ import annotations
 
 import dataclasses
-import math
 from typing import Dict, Iterator, List, Tuple
 
 import numpy as np

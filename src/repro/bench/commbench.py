@@ -12,7 +12,7 @@ and >10 ms fabric-recovery outliers are discarded, as in the paper.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -21,12 +21,11 @@ import dataclasses
 import os
 from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from ..amr.driver import DriverConfig, RunSummary, run_trajectory
 from ..amr.sedov import SedovConfig, SedovWorkload, scaled_config, table_i_config
-from ..core.metrics import message_stats
 from ..core.policy import get_policy
+from ..engine.hooks import PhaseProfilerHook
 from ..simnet.cluster import Cluster
 from .reporting import cplx_label, format_table
 
@@ -65,6 +64,8 @@ class SedovSweepConfig:
     steps: int = 2_000
     paper_scale: bool = False
     driver: DriverConfig = dataclasses.field(default_factory=DriverConfig)
+    #: attach a PhaseProfilerHook to every arm (``PolicyOutcome.profile``)
+    profile: bool = False
 
     def sedov_config(self, n_ranks: int) -> SedovConfig:
         if self.paper_scale:
@@ -82,6 +83,8 @@ class PolicyOutcome:
     msg_local: float           #: mean per-epoch local MPI message count
     msg_remote: float
     msg_intra: float           #: co-located (memcpy) pair count
+    #: populated when the sweep ran with ``profile=True``
+    profile: PhaseProfilerHook | None = None
 
     @property
     def wall_s(self) -> float:
@@ -124,8 +127,8 @@ class SedovSweepResult:
 
     def best_label(self, scale: int) -> str:
         return min(
-            (l for l in self.labels()),
-            key=lambda l: self.at(scale, l).wall_s,
+            self.labels(),
+            key=lambda label: self.at(scale, label).wall_s,
         )
 
     # ------------------------------------------------------------------ #
@@ -233,7 +236,11 @@ def run_sedov_sweep(config: SedovSweepConfig) -> SedovSweepResult:
 
         for name in config.policies:
             policy = get_policy(name)
-            summary = run_trajectory(policy, trajectory, cluster, config.driver)
+            profiler = PhaseProfilerHook() if config.profile else None
+            summary = run_trajectory(
+                policy, trajectory, cluster, config.driver,
+                hooks=[profiler] if profiler else None,
+            )
             label = (
                 cplx_label(float(name.split(":")[1]))
                 if name.startswith("cplx:")
@@ -247,6 +254,7 @@ def run_sedov_sweep(config: SedovSweepConfig) -> SedovSweepResult:
                     msg_local=summary.msg_local,
                     msg_remote=summary.msg_remote,
                     msg_intra=summary.msg_intra_rank,
+                    profile=profiler,
                 )
             )
         table_i.append(

@@ -24,7 +24,6 @@ import numpy as np
 from ..core.policy import get_policy
 from ..simnet.cluster import Cluster
 from ..simnet.faults import FaultModel
-from ..simnet.machine import DEFAULT_FABRIC
 from ..simnet.runtime import BSPModel, ExchangePattern
 from ..simnet.tuning import TUNED, UNTUNED, TuningConfig
 from ..telemetry.analysis import rankwise_variance, work_time_correlation

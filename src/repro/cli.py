@@ -24,7 +24,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
 
 __all__ = ["main", "build_parser"]
 
@@ -46,6 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--policies", nargs="+",
                    default=["baseline", "cplx:0", "cplx:25", "cplx:50",
                             "cplx:75", "cplx:100"])
+    s.add_argument("--profile", action="store_true",
+                   help="print the per-phase time breakdown per arm")
 
     c = sub.add_parser("commbench", help="Fig. 7a locality microbenchmark")
     c.add_argument("--ranks", type=int, default=512)
@@ -87,6 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="epochs between driver checkpoints")
     r.add_argument("--no-determinism-check", action="store_true",
                    help="skip the same-seed re-run")
+    r.add_argument("--profile", action="store_true",
+                   help="print the per-phase time breakdown per arm")
 
     sub.add_parser("policies", help="list registered placement policies")
     return p
@@ -101,6 +104,7 @@ def _cmd_sedov(args) -> int:
             policies=tuple(args.policies),
             steps=args.steps,
             paper_scale=args.paper_scale,
+            profile=args.profile,
         )
     )
     print(result.table_i_text())
@@ -114,6 +118,10 @@ def _cmd_sedov(args) -> int:
         best = result.best_label(scale)
         print(f"\n{scale} ranks: best {best} "
               f"({result.reduction_vs_baseline(scale, best):.1%} vs baseline)")
+    if args.profile:
+        for o in result.outcomes:
+            print(f"\n[{o.scale} ranks · {o.policy_label}]")
+            print(o.profile.report())
     return 0
 
 
@@ -200,9 +208,14 @@ def _cmd_resilience(args) -> int:
             throttle_factor=args.throttle_factor,
             checkpoint_interval_epochs=args.checkpoint_interval,
             check_determinism=not args.no_determinism_check,
+            profile=args.profile,
         )
     )
     print(result.report())
+    if result.profiles:
+        for arm, profiler in result.profiles.items():
+            print(f"\n[{arm}]")
+            print(profiler.report())
     return 0 if result.deterministic in (True, None) else 1
 
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 import abc
 import dataclasses
 import time
-from typing import Callable, Dict, Iterator, Mapping
+from typing import Callable, Dict, Iterator
 
 import numpy as np
 

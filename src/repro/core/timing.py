@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Callable, List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -18,7 +18,7 @@ opportunities, which the ablation bench quantifies.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable, List
+from typing import Callable
 
 import numpy as np
 

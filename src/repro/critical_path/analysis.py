@@ -20,7 +20,6 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Tuple
 
-import numpy as np
 
 from ..amr.taskgraph import Task, TaskKind
 from .model import ScheduledExecution

@@ -18,7 +18,7 @@ critical path is *when sends dispatch* (Fig. 4 bottom).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..amr.taskgraph import Task, TaskGraph, TaskKind
 

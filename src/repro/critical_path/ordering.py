@@ -11,11 +11,11 @@ only shorten two-rank critical paths (Fig. 4 bottom).
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List
+from typing import Callable
 
 import numpy as np
 
-from ..amr.taskgraph import TaskGraph, build_exchange_graph, rank_schedule
+from ..amr.taskgraph import build_exchange_graph, rank_schedule
 from .analysis import CriticalPath, extract_critical_path
 from .model import ScheduledExecution, execute_schedules
 

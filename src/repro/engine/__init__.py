@@ -1,0 +1,52 @@
+"""Hook-based execution engine: one canonical epoch loop for all arms.
+
+Public surface::
+
+    from repro.engine import (
+        EpochEngine, EngineContext, DriverConfig, RunSummary,
+        EpochHook, TelemetryHook, PassiveMonitorHook, PhaseProfilerHook,
+        GuardHook, FaultTimelineHook, MitigationHook, CheckpointHook,
+    )
+
+The four resilience hooks live in :mod:`repro.resilience.hooks` and are
+re-exported lazily here to keep ``repro.engine`` importable without
+dragging in the resilience stack (and to avoid an import cycle).
+"""
+
+from .context import EngineContext, RestoreHandler
+from .core import EpochEngine
+from .hooks import (
+    PROFILE_PHASES,
+    EpochHook,
+    PassiveMonitorHook,
+    PhaseProfilerHook,
+    TelemetryHook,
+)
+from .types import DriverConfig, RunSummary
+
+__all__ = [
+    "EpochEngine",
+    "EngineContext",
+    "RestoreHandler",
+    "DriverConfig",
+    "RunSummary",
+    "EpochHook",
+    "TelemetryHook",
+    "PassiveMonitorHook",
+    "PhaseProfilerHook",
+    "PROFILE_PHASES",
+    "GuardHook",
+    "FaultTimelineHook",
+    "MitigationHook",
+    "CheckpointHook",
+]
+
+_RESILIENCE_HOOKS = {"GuardHook", "FaultTimelineHook", "MitigationHook", "CheckpointHook"}
+
+
+def __getattr__(name):
+    if name in _RESILIENCE_HOOKS:
+        from ..resilience import hooks as _rh
+
+        return getattr(_rh, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,7 +22,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from .geometry import BlockIndex, RootGrid
+from .geometry import RootGrid
 from .neighbors import NeighborGraph, _directions, build_neighbor_graph
 from .octree import OctreeForest
 from .sfc import morton_encode
@@ -112,7 +112,7 @@ def build_neighbor_graph_fast(forest: OctreeForest) -> NeighborGraph:
     dst_all: List[np.ndarray] = []
     kind_all: List[np.ndarray] = []
 
-    for lvl in (int(l) for l in np.unique(levels)):
+    for lvl in (int(v) for v in np.unique(levels)):
         sel = np.nonzero(levels == lvl)[0]
         c = coords[sel]
         for d in _directions(dim):

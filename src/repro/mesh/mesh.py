@@ -8,11 +8,11 @@ used by the simulation driver.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
-from .geometry import BlockIndex, RootGrid, block_bounds
+from .geometry import BlockIndex, RootGrid
 from .fast_neighbors import build_neighbor_graph_auto
 from .neighbors import NeighborGraph
 from .octree import OctreeForest

@@ -24,11 +24,11 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
-from .geometry import BlockIndex, RootGrid
+from .geometry import BlockIndex
 from .octree import OctreeForest
 
 __all__ = ["NeighborKind", "find_neighbors", "NeighborGraph", "build_neighbor_graph"]

@@ -16,7 +16,7 @@ Morton sort in :mod:`repro.mesh.sfc`; the two agree by construction.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Set
 
 from .geometry import BlockIndex, RootGrid
 from .sfc import sfc_sort_blocks

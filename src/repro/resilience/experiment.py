@@ -21,10 +21,11 @@ than doing nothing).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..amr.driver import DriverConfig, RunSummary
 from ..amr.sedov import SedovConfig, SedovEpoch, SedovWorkload
+from ..engine.hooks import PhaseProfilerHook
 from ..simnet.cluster import Cluster
 from ..simnet.faults import FaultTimeline, NodeCrash, ThrottleOnset
 from .driver import UNMITIGATED, ResilienceConfig, run_resilient_trajectory
@@ -81,6 +82,8 @@ class ResilienceExperimentConfig:
     throttle_factor: Optional[float] = 8.0    #: None = cluster default (4x)
     checkpoint_interval_epochs: int = 2
     check_determinism: bool = True
+    #: attach a PhaseProfilerHook per arm (``result.profiles``)
+    profile: bool = False
 
     def timeline(self) -> FaultTimeline:
         events = []
@@ -105,6 +108,8 @@ class ResilienceExperimentResult:
     unmitigated: RunSummary
     resilient: RunSummary
     deterministic: Optional[bool]   #: None when the check was skipped
+    #: arm name -> PhaseProfilerHook, when run with ``profile=True``
+    profiles: Optional[Dict[str, PhaseProfilerHook]] = None
 
     @property
     def recovery_fraction(self) -> float:
@@ -166,17 +171,29 @@ def run_resilience_experiment(
         checkpoint_interval_epochs=config.checkpoint_interval_epochs
     )
 
+    profiles: Optional[Dict[str, PhaseProfilerHook]] = (
+        {arm: PhaseProfilerHook() for arm in ("healthy", "unmitigated", "resilient")}
+        if config.profile
+        else None
+    )
+
+    def arm_hooks(arm: str):
+        return [profiles[arm]] if profiles else None
+
     healthy = run_resilient_trajectory(
         config.policy, epochs, cluster, driver_cfg,
         resilience=resilience, timeline=FaultTimeline.static(),
+        hooks=arm_hooks("healthy"),
     )
     unmitigated = run_resilient_trajectory(
         config.policy, epochs, cluster, driver_cfg,
         resilience=UNMITIGATED, timeline=timeline,
+        hooks=arm_hooks("unmitigated"),
     )
     resilient = run_resilient_trajectory(
         config.policy, epochs, cluster, driver_cfg,
         resilience=resilience, timeline=timeline,
+        hooks=arm_hooks("resilient"),
     )
     deterministic: Optional[bool] = None
     if config.check_determinism:
@@ -195,4 +212,5 @@ def run_resilience_experiment(
         unmitigated=unmitigated,
         resilient=resilient,
         deterministic=deterministic,
+        profiles=profiles,
     )

@@ -16,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import itertools
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Generator, List
 
 __all__ = ["Engine", "Timeout", "WaitEvent", "Emit", "SimEvent", "Process"]
 

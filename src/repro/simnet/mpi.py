@@ -15,7 +15,7 @@ all MPI calls are sub-generators used with ``yield from``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Dict, Generator, List, Tuple
 
 import numpy as np
 

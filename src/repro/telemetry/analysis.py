@@ -9,7 +9,7 @@ stragglers (§IV-D).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -11,7 +11,7 @@ so a tuning change can be declared significant or noise.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 from scipy import stats

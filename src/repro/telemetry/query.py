@@ -18,7 +18,7 @@ calls essential for hypothesis-driven exploration).
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 

@@ -18,7 +18,6 @@ import numpy as np
 from .analysis import (
     PhaseBreakdown,
     phase_breakdown,
-    rankwise_variance,
     straggler_attribution,
     work_time_correlation,
 )

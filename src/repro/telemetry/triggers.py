@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Tuple
 
 import numpy as np
 

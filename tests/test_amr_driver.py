@@ -1,8 +1,6 @@
 """Tests for the BSP simulation driver."""
 
-import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.amr import DriverConfig, SedovWorkload, run_trajectory, scaled_config

@@ -1,6 +1,5 @@
 """Integration tests for the Simulation pipeline (solver x placement)."""
 
-import numpy as np
 import pytest
 
 from repro.amr import (
@@ -94,7 +93,7 @@ class TestSimulation:
 
     def test_continuation_runs(self):
         sim = make_sim()
-        r1 = sim.run(10)
+        sim.run(10)
         r2 = sim.run(10)
         assert r2.n_steps == 20
         assert r2.collector.steps_table().n_rows == 20 * 8

@@ -164,7 +164,6 @@ class TestSedovSweep:
             assert result.reduction_vs_baseline(512, label) > 0.05
 
     def test_tradeoff_direction(self, result):
-        base = result.at(512, "baseline").summary.phase_rank_seconds
         p0 = result.at(512, "CPL0").summary.phase_rank_seconds
         p100 = result.at(512, "CPL100").summary.phase_rank_seconds
         assert p100["comm"] > p0["comm"]

@@ -1,6 +1,5 @@
 """Tests for the sweep-result API and reporting edge cases."""
 
-import numpy as np
 import pytest
 
 from repro.bench import SedovSweepConfig, format_table, run_sedov_sweep

@@ -54,3 +54,19 @@ class TestCommands:
         assert "Table I" in out
         assert "Fig 6a" in out
         assert "best" in out
+
+    def test_sedov_profile_prints_phase_breakdown(self, capsys):
+        assert main(["sedov", "--scales", "512", "--steps", "100",
+                     "--policies", "baseline", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "redistribute" in out
+        assert "[512 ranks · baseline]" in out
+
+    def test_resilience_profile_prints_all_arms(self, capsys):
+        assert main(["resilience", "--ranks", "64", "--steps", "100",
+                     "--no-determinism-check", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        for arm in ("[healthy]", "[unmitigated]", "[resilient]"):
+            assert arm in out

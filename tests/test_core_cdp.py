@@ -13,7 +13,6 @@ from repro.core import (
     cdp_restricted,
     chunked_cdp_counts,
     counts_makespan,
-    load_stats,
     split_chunks,
 )
 from repro.core.chunked import _rank_shares

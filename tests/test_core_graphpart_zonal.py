@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     CPLX,
-    BaselinePolicy,
     GraphPartitionPolicy,
     LPTPolicy,
     ZonalPolicy,

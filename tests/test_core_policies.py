@@ -12,7 +12,6 @@ from repro.core import (
     available_policies,
     contiguous_counts,
     get_policy,
-    load_stats,
     validate_assignment,
 )
 from repro.core.policy import PlacementResult

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.amr import TaskGraph, TaskKind, build_exchange_graph, rank_schedule
+from repro.amr import TaskGraph, TaskKind
 from repro.critical_path import (
     compare_orderings,
     execute_schedules,

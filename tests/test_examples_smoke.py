@@ -8,7 +8,6 @@ under a hard time budget.
 
 import pathlib
 import runpy
-import sys
 
 import pytest
 

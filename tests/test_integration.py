@@ -6,10 +6,9 @@ the paper's evaluation.  Scales are reduced; shapes, not absolute
 numbers, are checked.
 """
 
-import numpy as np
 import pytest
 
-from repro.amr import DriverConfig, SedovWorkload, run_trajectory, scaled_config
+from repro.amr import SedovWorkload, run_trajectory, scaled_config
 from repro.core import (
     PAPER_BUDGET_S,
     get_policy,

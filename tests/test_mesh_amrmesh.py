@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mesh import AmrMesh, BlockIndex, RefinementTags, RootGrid, block_bounds
+from repro.mesh import AmrMesh, RefinementTags, RootGrid, block_bounds
 from repro.mesh.refinement import is_two_one_balanced
 
 

@@ -76,8 +76,6 @@ class TestHilbertBlocks:
         ranges, Hilbert ordering yields at least as many co-located
         neighbor pairs as Morton ordering."""
         from repro.core import message_stats
-        from repro.mesh import build_neighbor_graph
-        from repro.mesh.neighbors import NeighborGraph
 
         mesh = AmrMesh(RootGrid((8, 8)), max_level=0)
         graph = mesh.neighbor_graph

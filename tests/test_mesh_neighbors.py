@@ -51,7 +51,7 @@ class TestUniformGrid:
 class TestCrossLevel:
     def test_fine_block_sees_coarse_neighbor(self):
         f = OctreeForest(RootGrid((2, 2)), max_level=2)
-        kids = f.refine(BlockIndex(0, (0, 0)))
+        f.refine(BlockIndex(0, (0, 0)))
         # Child at (1,0) abuts the unrefined coarse block (1,0) by face.
         nbrs = find_neighbors(f, BlockIndex(1, (1, 0)))
         assert nbrs[BlockIndex(0, (1, 0))] == NeighborKind.FACE

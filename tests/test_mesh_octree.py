@@ -1,6 +1,5 @@
 """Unit + property tests for the octree forest."""
 
-import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st

@@ -46,8 +46,8 @@ class TestBalanceClosure:
         # Level-2 block adjacent to a level-1 leaf whose own neighbor is
         # level 0: refining the deepest forces a cascade.
         f = OctreeForest(RootGrid((4, 4)), max_level=4)
-        k1 = f.refine(BlockIndex(0, (0, 0)))
-        k2 = f.refine(BlockIndex(1, (0, 0)))
+        f.refine(BlockIndex(0, (0, 0)))
+        f.refine(BlockIndex(1, (0, 0)))
         assert is_two_one_balanced(f)
         closure = enforce_two_one_balance(f, {BlockIndex(2, (1, 1))})
         f2 = f.copy()

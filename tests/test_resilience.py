@@ -34,11 +34,7 @@ from repro.simnet.faults import (
 )
 from repro.simnet.tuning import TUNED
 from repro.telemetry import CorruptTelemetryError
-from repro.telemetry.anomaly import (
-    WindowConfig,
-    detect_throttled_nodes,
-    detect_wait_spikes,
-)
+from repro.telemetry.anomaly import detect_throttled_nodes, detect_wait_spikes
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for machine specs, cluster topology, faults, and tuning knobs."""
 
-import dataclasses
 
 import numpy as np
 import pytest

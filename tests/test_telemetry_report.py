@@ -3,11 +3,10 @@
 import dataclasses
 
 import numpy as np
-import pytest
 
 from repro.bench.tuning_study import StudyEnvironment, _collect
 from repro.simnet import TUNED, UNTUNED, Cluster, FaultModel
-from repro.telemetry import ColumnTable, Finding, diagnose
+from repro.telemetry import Finding, diagnose
 
 
 def collect_run(n_ranks=64, n_steps=30, cluster=None, tuning=TUNED,

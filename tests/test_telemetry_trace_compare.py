@@ -6,7 +6,6 @@ import pytest
 from repro.telemetry import (
     ColumnTable,
     EventTrace,
-    TraceEvent,
     compare_runs,
     trace_to_table,
 )
@@ -136,7 +135,7 @@ class TestNetworkxExport:
         assert g.number_of_nodes() == 27
         assert nx.is_connected(g)
         # Center block has all 26 neighbor kinds represented.
-        center = 13  # not necessarily SFC id 13; find by degree instead
+        # The center block is found by degree, not by SFC id.
         degrees = dict(g.degree())
         assert max(degrees.values()) == 26
         weights = {d["weight"] for _, _, d in g.edges(data=True)}
