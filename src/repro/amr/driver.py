@@ -46,8 +46,11 @@ def run_trajectory(
     """
     from ..engine.core import EpochEngine
     from ..engine.hooks import PassiveMonitorHook, TelemetryHook
+    from ..engine.transport import TransportHook
 
     stack = [TelemetryHook()]
+    if config.transport.is_active:
+        stack.append(TransportHook(monitor=health_monitor))
     if health_monitor is not None:
         stack.append(PassiveMonitorHook(health_monitor))
     if hooks:

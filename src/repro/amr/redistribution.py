@@ -26,6 +26,11 @@ from ..simnet.machine import FabricSpec
 
 __all__ = [
     "RedistributionOutcome",
+    "RedistributionPlan",
+    "prepare_redistribution",
+    "commit_redistribution",
+    "abort_redistribution",
+    "stale_assignment",
     "redistribute",
     "carry_assignment",
     "remap_assignment",
@@ -90,15 +95,43 @@ def remap_assignment(assignment: np.ndarray, rank_map: np.ndarray) -> np.ndarray
     return out.astype(np.int64)
 
 
-def redistribute(
+@dataclasses.dataclass(frozen=True)
+class RedistributionPlan:
+    """A *prepared* (not yet committed) redistribution.
+
+    Two-phase protocol: :func:`prepare_redistribution` computes the
+    placement and the migration plan without "moving" anything;
+    :func:`commit_redistribution` accepts the new placement, while
+    :func:`abort_redistribution` rolls back to the carried (last-good)
+    owners — the path taken when the migration transfers exhaust their
+    transport retry budget mid-epoch.
+
+    ``src_ranks``/``dst_ranks`` list the endpoints of each planned block
+    transfer (one entry per migrating block); the transport layer uses
+    them to sample per-link loss.
+    """
+
+    result: PlacementResult
+    carried: Optional[np.ndarray]
+    migrated_blocks: int
+    migration_s: float
+    src_ranks: np.ndarray
+    dst_ranks: np.ndarray
+
+    @property
+    def placement_s(self) -> float:
+        return self.result.elapsed_s
+
+
+def prepare_redistribution(
     policy: PlacementPolicy,
     costs: np.ndarray,
     n_ranks: int,
     prev_assignment: Optional[np.ndarray],
     fabric: FabricSpec,
     block_bytes: float = BLOCK_BYTES_DEFAULT,
-) -> RedistributionOutcome:
-    """Run the placement policy and account for migration.
+) -> RedistributionPlan:
+    """Phase one: run the policy and build the migration plan.
 
     ``prev_assignment`` is the carried-over owner per (new) block ID, or
     ``None`` at startup.  Migration time models the bulk P2P transfer:
@@ -107,18 +140,80 @@ def redistribute(
     remote bandwidth (in cells/s, block payloads converted accordingly).
     """
     result = policy.place(costs, n_ranks)
+    empty = np.empty(0, dtype=np.int64)
     if prev_assignment is None:
-        return RedistributionOutcome(result, 0, 0.0, result.elapsed_s)
+        return RedistributionPlan(result, None, 0, 0.0, empty, empty)
     prev = np.asarray(prev_assignment, dtype=np.int64)
     if prev.shape != result.assignment.shape:
         raise ValueError("prev_assignment must cover the new block set (carry first)")
     moving = (prev != result.assignment) & (prev >= 0)
     migrated = int(moving.sum())
     if migrated == 0:
-        return RedistributionOutcome(result, 0, 0.0, result.elapsed_s)
+        return RedistributionPlan(result, prev, 0, 0.0, empty, empty)
     out_bytes = np.bincount(prev[moving], minlength=n_ranks) * block_bytes
     in_bytes = np.bincount(result.assignment[moving], minlength=n_ranks) * block_bytes
     per_rank = np.maximum(out_bytes, in_bytes)
     # Convert payload bytes to the fabric's cell-based bandwidth (8 B/cell).
     migration_s = float(per_rank.max()) / 8.0 / fabric.remote_bandwidth
-    return RedistributionOutcome(result, migrated, migration_s, result.elapsed_s)
+    return RedistributionPlan(
+        result, prev, migrated, migration_s, prev[moving], result.assignment[moving]
+    )
+
+
+def commit_redistribution(plan: RedistributionPlan) -> RedistributionOutcome:
+    """Phase two (success): accept the new placement and its charges."""
+    return RedistributionOutcome(
+        plan.result, plan.migrated_blocks, plan.migration_s, plan.result.elapsed_s
+    )
+
+
+def stale_assignment(carried: np.ndarray, n_ranks: int) -> np.ndarray:
+    """The degraded-mode placement: carried owners, holes round-robined.
+
+    Blocks with no predecessor (carry produced -1) must live somewhere;
+    ``block_id % n_ranks`` is deterministic and needs no migration
+    bookkeeping (a fresh block has no data to move).
+    """
+    out = np.asarray(carried, dtype=np.int64).copy()
+    holes = out < 0
+    if holes.any():
+        out[holes] = np.nonzero(holes)[0] % n_ranks
+    return out
+
+
+def abort_redistribution(
+    plan: RedistributionPlan, n_ranks: int, stall_s: float = 0.0
+) -> RedistributionOutcome:
+    """Phase two (failure): roll back to the last-good placement.
+
+    The epoch continues on the *stale* carried assignment: no blocks
+    migrate (whatever partial transfers happened are discarded — block
+    data is immutable until commit, so discarding is safe), and the
+    wasted retransmission time ``stall_s`` is still charged to the lb
+    phase.  At startup there is nothing to roll back to, so the prepared
+    placement commits (initial placement moves no data).
+    """
+    if plan.carried is None:
+        return commit_redistribution(plan)
+    stale = PlacementResult(
+        assignment=stale_assignment(plan.carried, n_ranks),
+        policy=plan.result.policy + "+stale",
+        elapsed_s=plan.result.elapsed_s,
+    )
+    return RedistributionOutcome(stale, 0, stall_s, plan.result.elapsed_s)
+
+
+def redistribute(
+    policy: PlacementPolicy,
+    costs: np.ndarray,
+    n_ranks: int,
+    prev_assignment: Optional[np.ndarray],
+    fabric: FabricSpec,
+    block_bytes: float = BLOCK_BYTES_DEFAULT,
+) -> RedistributionOutcome:
+    """One-shot prepare + commit (the reliable-fabric fast path)."""
+    return commit_redistribution(
+        prepare_redistribution(
+            policy, costs, n_ranks, prev_assignment, fabric, block_bytes
+        )
+    )

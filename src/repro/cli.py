@@ -47,6 +47,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "cplx:75", "cplx:100"])
     s.add_argument("--profile", action="store_true",
                    help="print the per-phase time breakdown per arm")
+    s.add_argument("--transport-faults", metavar="SPEC", default=None,
+                   help="unreliable-fabric spec, e.g. "
+                   "'loss=0.05,dup=0.01,reorder=0.02,retries=4,seed=7' "
+                   "(keys: loss dup reorder reorder_delay timeout backoff "
+                   "retries bad_link_factor seed)")
 
     c = sub.add_parser("commbench", help="Fig. 7a locality microbenchmark")
     c.add_argument("--ranks", type=int, default=512)
@@ -90,13 +95,23 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the same-seed re-run")
     r.add_argument("--profile", action="store_true",
                    help="print the per-phase time breakdown per arm")
+    r.add_argument("--transport-faults", metavar="SPEC", default=None,
+                   help="unreliable-fabric spec for the faulty arms, e.g. "
+                   "'loss=0.08,reorder=0.05,retries=2'")
 
     sub.add_parser("policies", help="list registered placement policies")
     return p
 
 
+def _parse_transport(spec: Optional[str]):
+    from .simnet.faults import NO_TRANSPORT_FAULTS, parse_transport_spec
+
+    return NO_TRANSPORT_FAULTS if spec is None else parse_transport_spec(spec)
+
+
 def _cmd_sedov(args) -> int:
     from .bench import SedovSweepConfig, run_sedov_sweep
+    from .engine.types import DriverConfig
 
     result = run_sedov_sweep(
         SedovSweepConfig(
@@ -105,6 +120,7 @@ def _cmd_sedov(args) -> int:
             steps=args.steps,
             paper_scale=args.paper_scale,
             profile=args.profile,
+            driver=DriverConfig(transport=_parse_transport(args.transport_faults)),
         )
     )
     print(result.table_i_text())
@@ -118,6 +134,14 @@ def _cmd_sedov(args) -> int:
         best = result.best_label(scale)
         print(f"\n{scale} ranks: best {best} "
               f"({result.reduction_vs_baseline(scale, best):.1%} vs baseline)")
+    if args.transport_faults is not None:
+        print("\ntransport (unreliable fabric):")
+        for o in result.outcomes:
+            s = o.summary
+            print(f"  {o.scale} ranks · {o.policy_label:<10} "
+                  f"retrans={s.n_retransmits} drops={s.n_transport_drops} "
+                  f"rollback={s.n_rollbacks} degraded={s.n_degraded_epochs} "
+                  f"stall={s.transport_stall_s:.3f}s")
     if args.profile:
         for o in result.outcomes:
             print(f"\n[{o.scale} ranks · {o.policy_label}]")
@@ -206,6 +230,7 @@ def _cmd_resilience(args) -> int:
             throttle_step=None if args.throttle_step < 0 else args.throttle_step,
             throttle_nodes=tuple(args.throttle_nodes),
             throttle_factor=args.throttle_factor,
+            transport=_parse_transport(args.transport_faults),
             checkpoint_interval_epochs=args.checkpoint_interval,
             check_determinism=not args.no_determinism_check,
             profile=args.profile,

@@ -22,6 +22,11 @@ from .hooks import (
     PhaseProfilerHook,
     TelemetryHook,
 )
+from .transport import (
+    STALE_PLACEMENT_KIND,
+    TRANSPORT_ROLLBACK_KIND,
+    TransportHook,
+)
 from .types import DriverConfig, RunSummary
 
 __all__ = [
@@ -34,6 +39,9 @@ __all__ = [
     "TelemetryHook",
     "PassiveMonitorHook",
     "PhaseProfilerHook",
+    "TransportHook",
+    "TRANSPORT_ROLLBACK_KIND",
+    "STALE_PLACEMENT_KIND",
     "PROFILE_PHASES",
     "GuardHook",
     "FaultTimelineHook",

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from ..amr.block import BlockCostTracker
-from ..amr.redistribution import RedistributionOutcome
+from ..amr.redistribution import RedistributionOutcome, RedistributionPlan
 from ..core.policy import PlacementPolicy
 from ..simnet.cluster import Cluster
 from ..simnet.runtime import BSPModel, ExchangePattern
@@ -92,9 +92,20 @@ class EngineContext:
     n_policy_fallbacks: int = 0
     mitigation_s: float = 0.0
 
+    # -- transport bookkeeping (zero unless a TransportHook runs) ----------
+    n_retransmits: int = 0
+    n_transport_drops: int = 0
+    n_dup_suppressed: int = 0
+    n_transport_reorders: int = 0
+    n_rollbacks: int = 0
+    n_degraded_epochs: int = 0
+    transport_stall_s: float = 0.0
+
     # -- per-epoch transients (valid between on_epoch_start/_end) ----------
     policy_costs: Optional[np.ndarray] = None
     carried: Optional[np.ndarray] = None
+    #: the prepared (uncommitted) redistribution of the current epoch
+    plan: Optional[RedistributionPlan] = None
     outcome: Optional[RedistributionOutcome] = None
     #: hook-provided replacement for the measured placement time in the
     #: lb charge; ``None`` means charge ``outcome.placement_s``

@@ -37,7 +37,11 @@ from typing import Iterable, Optional, Sequence
 import numpy as np
 
 from ..amr.block import BlockCostTracker
-from ..amr.redistribution import carry_assignment, redistribute
+from ..amr.redistribution import (
+    carry_assignment,
+    commit_redistribution,
+    prepare_redistribution,
+)
 from ..core.metrics import message_stats
 from ..core.policy import PlacementPolicy
 from ..simnet.cluster import Cluster
@@ -170,18 +174,26 @@ class EpochEngine:
                 ctx.carried = None
             if self._dispatch("before_redistribute", epoch):
                 continue
-            outcome = redistribute(
+            # Two-phase redistribution: prepare computes placement +
+            # migration plan, commit accepts it.  An after_redistribute
+            # hook may replace ctx.outcome — e.g. the TransportHook
+            # aborts to the stale carried placement when migration
+            # exhausts its transport retry budget — so the engine
+            # re-reads ctx.outcome after dispatch.
+            ctx.plan = prepare_redistribution(
                 ctx.policy,
                 ctx.policy_costs,
                 ctx.cluster.n_ranks,
                 ctx.carried,
                 config.fabric,
             )
+            outcome = commit_redistribution(ctx.plan)
             ctx.outcome = outcome
             ctx.placement_max = max(ctx.placement_max, outcome.placement_s)
             ctx.placement_charge = None
             if self._dispatch("after_redistribute", epoch):
                 continue
+            outcome = ctx.outcome
             assignment = outcome.result.assignment
             placement_term = (
                 outcome.placement_s
@@ -259,4 +271,11 @@ class EpochEngine:
             n_policy_fallbacks=ctx.n_policy_fallbacks,
             mitigation_s=ctx.mitigation_s,
             evicted_nodes=tuple(ctx.evicted_nodes),
+            n_retransmits=ctx.n_retransmits,
+            n_transport_drops=ctx.n_transport_drops,
+            n_dup_suppressed=ctx.n_dup_suppressed,
+            n_transport_reorders=ctx.n_transport_reorders,
+            n_rollbacks=ctx.n_rollbacks,
+            n_degraded_epochs=ctx.n_degraded_epochs,
+            transport_stall_s=ctx.transport_stall_s,
         )

@@ -1,0 +1,187 @@
+"""Transactional redistribution over an unreliable fabric.
+
+:class:`TransportHook` is the BSP-level counterpart of the packet-level
+retransmit protocol in :class:`repro.simnet.mpi.SimMPI`.  The epoch
+engine never routes individual messages, so the hook *samples* the
+protocol's aggregate behaviour for the epoch's migration transfers from
+the same :class:`~repro.simnet.faults.TransportFaultModel` (geometric
+attempt counts per transfer under the per-link loss probability) and
+applies the transactional outcome to the prepared redistribution:
+
+* every transfer delivered within the retry budget → **commit**, with
+  the slowest transfer's retransmission stall added to the migration
+  charge;
+* any transfer exhausted its budget → **abort**: roll back to the
+  last-good (carried) placement via
+  :func:`~repro.amr.redistribution.abort_redistribution`, then hold
+  that stale placement for ``hold_epochs`` epochs (degraded mode — no
+  point re-attempting a bulk migration over a link that just proved
+  lossy) before the policy is allowed to move blocks again.
+
+Counters land in the context (→ ``RunSummary``) and in the collector's
+``transport`` telemetry table; rollbacks are additionally logged as
+mitigation rows so the resilience tooling sees a flaky link the same
+way it sees a node eviction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from ..amr.redistribution import abort_redistribution
+from ..simnet.faults import MigrationTransportSample, TransportFaultModel
+from .context import EngineContext
+from .hooks import EpochHook
+
+__all__ = ["TransportHook", "TRANSPORT_ROLLBACK_KIND", "STALE_PLACEMENT_KIND"]
+
+#: Mitigation-log kind codes; mirrored (by literal value) in
+#: :data:`repro.resilience.MITIGATION_KINDS` — the engine layer cannot
+#: import resilience without inverting the dependency.
+TRANSPORT_ROLLBACK_KIND = 6
+STALE_PLACEMENT_KIND = 7
+
+
+class TransportHook(EpochHook):
+    """Drives two-phase redistribution under a transport fault model.
+
+    Parameters
+    ----------
+    transport:
+        Fault model to sample; defaults to ``ctx.config.transport``.
+    mitigation:
+        Optional :class:`repro.resilience.MitigationEngine`; rollbacks
+        are recorded there as priced actions (duck-typed so the engine
+        layer stays import-free of resilience).
+    monitor:
+        Optional :class:`repro.resilience.HealthMonitor`; rollbacks are
+        surfaced via :meth:`note_transport_event` when present.
+    hold_epochs:
+        Epochs to keep the stale placement after a rollback before the
+        policy may migrate blocks again.
+    """
+
+    def __init__(
+        self,
+        transport: Optional[TransportFaultModel] = None,
+        mitigation=None,
+        monitor=None,
+        hold_epochs: int = 1,
+    ) -> None:
+        if hold_epochs < 0:
+            raise ValueError("hold_epochs must be >= 0")
+        self.transport = transport
+        self.mitigation = mitigation
+        self.monitor = monitor
+        self.hold_epochs = hold_epochs
+        self._rng: Optional[np.random.Generator] = None
+        self._hold = 0
+
+    # ------------------------------------------------------------------ #
+
+    def on_run_start(self, ctx: EngineContext) -> None:
+        if self.transport is None:
+            self.transport = ctx.config.transport
+        # Dedicated stream: zero draws on the engine's RNGs, and a
+        # fixed (seed, transport seed) pair is reproducible run-to-run.
+        self._rng = np.random.default_rng(
+            (ctx.config.seed, self.transport.seed, 0xB5B)
+        )
+        self._hold = 0
+
+    def after_redistribute(self, ctx: EngineContext, epoch) -> None:
+        t = self.transport
+        plan = ctx.plan
+        if t is None or not t.is_active or plan is None:
+            return
+        if self._hold > 0:
+            self._hold -= 1
+            if plan.carried is not None:
+                ctx.outcome = abort_redistribution(plan, ctx.cluster.n_ranks)
+                ctx.n_degraded_epochs += 1
+                self._record(ctx, epoch, degraded=1)
+                self._surface(ctx, epoch, STALE_PLACEMENT_KIND, 0.0,
+                              "degraded epoch on stale placement")
+            return
+        if plan.migrated_blocks == 0:
+            return
+        src_nodes = np.asarray(ctx.cluster.node_of(plan.src_ranks))
+        dst_nodes = np.asarray(ctx.cluster.node_of(plan.dst_ranks))
+        sample = t.sample_migration(src_nodes, dst_nodes, self._rng)
+        ctx.n_retransmits += sample.retransmits
+        ctx.n_transport_drops += sample.drops
+        ctx.n_dup_suppressed += sample.duplicates
+        ctx.n_transport_reorders += sample.reorders
+        ctx.transport_stall_s += sample.stall_s
+        if sample.exhausted:
+            # Abort: some block transfer ran out of retries mid-epoch.
+            # Roll back to the last-good placement, charge the wasted
+            # retry time, and enter degraded mode.
+            ctx.outcome = abort_redistribution(
+                plan, ctx.cluster.n_ranks, stall_s=sample.stall_s
+            )
+            ctx.n_rollbacks += 1
+            self._hold = self.hold_epochs
+            self._record(ctx, epoch, sample=sample, rollback=1)
+            self._surface(
+                ctx, epoch, TRANSPORT_ROLLBACK_KIND, sample.stall_s,
+                f"{sample.failed} of {sample.attempted} transfers exhausted "
+                f"{t.max_retries} retries",
+            )
+        else:
+            if sample.stall_s > 0.0:
+                ctx.outcome = dataclasses.replace(
+                    ctx.outcome,
+                    migration_s=ctx.outcome.migration_s + sample.stall_s,
+                )
+            if sample.retransmits or sample.duplicates or sample.reorders:
+                self._record(ctx, epoch, sample=sample)
+
+    # ------------------------------------------------------------------ #
+
+    def _record(
+        self,
+        ctx: EngineContext,
+        epoch,
+        sample: Optional[MigrationTransportSample] = None,
+        rollback: int = 0,
+        degraded: int = 0,
+    ) -> None:
+        ctx.collector.record_transport(
+            step=epoch.step_start,
+            epoch=epoch.index,
+            retransmits=sample.retransmits if sample else 0,
+            drops=sample.drops if sample else 0,
+            dup_suppressed=sample.duplicates if sample else 0,
+            reorders=sample.reorders if sample else 0,
+            rollback=rollback,
+            degraded=degraded,
+            stall_s=sample.stall_s if sample else 0.0,
+        )
+
+    def _surface(
+        self, ctx: EngineContext, epoch, kind: int, cost_s: float, detail: str
+    ) -> None:
+        """Expose the event to the resilience stack's ledgers."""
+        ctx.collector.record_mitigation(
+            epoch.step_start, epoch.index, kind, 0, cost_s
+        )
+        if self.monitor is not None:
+            note = getattr(self.monitor, "note_transport_event", None)
+            if note is not None:
+                note(epoch.index, kind, detail)
+        if self.mitigation is not None:
+            from ..resilience.mitigation import MitigationAction, kind_name
+
+            self.mitigation.record(
+                MitigationAction(
+                    kind=kind_name(kind),
+                    step=epoch.step_start,
+                    epoch=epoch.index,
+                    cost_s=cost_s,
+                    detail=detail,
+                )
+            )

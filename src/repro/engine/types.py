@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import dataclasses
 
-from ..simnet.faults import NO_FAULTS, FaultModel
+from ..simnet.faults import (
+    NO_FAULTS,
+    NO_TRANSPORT_FAULTS,
+    FaultModel,
+    TransportFaultModel,
+)
 from ..simnet.machine import DEFAULT_FABRIC, FabricSpec
 from ..simnet.tuning import TUNED, TuningConfig
 from ..telemetry.collector import TelemetryCollector
@@ -25,6 +30,9 @@ class DriverConfig:
     fabric: FabricSpec = DEFAULT_FABRIC
     tuning: TuningConfig = TUNED
     faults: FaultModel = NO_FAULTS
+    #: unreliable-fabric model; the rate-0 default keeps every run on
+    #: the reliable fast path (bit-identical to the pre-transport layer)
+    transport: TransportFaultModel = NO_TRANSPORT_FAULTS
     exchange_rounds: int = 4
     #: fixed per-redistribution cost besides placement + migration: mesh
     #: teardown/rebuild, neighbor re-discovery, buffer reallocation, and
@@ -67,6 +75,15 @@ class RunSummary:
     n_policy_fallbacks: int = 0
     mitigation_s: float = 0.0       #: simulated seconds spent on mitigations
     evicted_nodes: tuple = ()       #: original ids of nodes dropped mid-run
+    #: transport counters (populated by a TransportHook; zero on a
+    #: reliable fabric)
+    n_retransmits: int = 0
+    n_transport_drops: int = 0
+    n_dup_suppressed: int = 0
+    n_transport_reorders: int = 0
+    n_rollbacks: int = 0            #: redistributions aborted mid-migration
+    n_degraded_epochs: int = 0      #: epochs run on a stale placement
+    transport_stall_s: float = 0.0  #: simulated seconds lost to retransmits
 
     @property
     def remote_fraction(self) -> float:

@@ -9,24 +9,33 @@ stream).  Restoring a checkpoint and replaying the remaining epochs
 produces exactly the phases the uninterrupted run would have produced.
 
 Two stores share one interface: :class:`MemoryCheckpointStore` (cheap,
-test-friendly) and :class:`DirectoryCheckpointStore`, which persists the
-checkpoint as a directory —
+test-friendly) and :class:`DirectoryCheckpointStore`, which persists
+each checkpoint as a rotated snapshot directory ``ckpt-NNNNNN`` —
 
 * ``meta.json`` — scalars, the assignment, cluster/tuning state, both
-  RNG states, and the cost-tracker estimates keyed by block address;
-* ``steps.rprc`` / ``epochs.rprc`` / ``mitigations.rprc`` — the
-  collector's tables in the repo's binary columnar format.
+  RNG states, the cost-tracker estimates keyed by block address, and a
+  SHA-256 digest of all of the above (integrity seal);
+* ``steps.rprc`` / ``epochs.rprc`` / ... — the collector's tables in
+  the repo's binary columnar format (per-column CRC32-verified).
 
-The format is self-describing and versioned; see ``docs/resilience.md``.
+Snapshots are written to a temp directory and published by a single
+rename, the newest ``keep`` are retained, and :meth:`~
+DirectoryCheckpointStore.load` verifies integrity and falls back to the
+newest earlier *good* snapshot when the latest is corrupt or truncated
+— a torn checkpoint write must not turn a recoverable crash into a
+lost run.  The format is self-describing and versioned; see
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
+import hashlib
 import json
+import shutil
 from pathlib import Path
-from typing import Dict, Optional, Protocol, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -113,14 +122,45 @@ class MemoryCheckpointStore:
 
 
 class DirectoryCheckpointStore:
-    """On-disk checkpoint store using the repo's columnar format."""
+    """Rotating on-disk checkpoint store using the repo's columnar format.
 
-    def __init__(self, path: str | Path) -> None:
+    Each :meth:`save` writes one self-contained snapshot directory
+    ``ckpt-NNNNNN`` (staged as ``.tmp``, published by rename) and prunes
+    all but the newest ``keep``.  :meth:`load` returns the newest
+    snapshot that passes integrity verification — the meta digest, the
+    version, and the per-column table checksums — silently skipping
+    corrupt or truncated snapshots.  It returns ``None`` when no
+    snapshot exists and raises :class:`CorruptTelemetryError` only when
+    snapshots exist but *none* is loadable.
+    """
+
+    #: collector tables every valid checkpoint must contain
+    REQUIRED_TABLES = ("steps", "epochs")
+
+    def __init__(self, path: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        existing = self._snapshot_ids()
+        self._next_id = (existing[-1] + 1) if existing else 0
         self.n_saved = 0
 
     # ------------------------------------------------------------------ #
+
+    def _snapshot_ids(self) -> List[int]:
+        ids = []
+        for p in self.path.glob("ckpt-*"):
+            if p.is_dir() and not p.name.endswith(".tmp"):
+                try:
+                    ids.append(int(p.name.split("-", 1)[1]))
+                except ValueError:
+                    continue
+        return sorted(ids)
+
+    def _snapshot_dir(self, snap_id: int) -> Path:
+        return self.path / f"ckpt-{snap_id:06d}"
 
     def save(self, ckpt: DriverCheckpoint) -> None:
         meta = {
@@ -142,30 +182,67 @@ class DirectoryCheckpointStore:
             "tracker": {
                 _encode_block(k): v for k, v in ckpt.tracker_estimates.items()
             },
+            "tables": sorted(ckpt.tables),
         }
-        tmp = self.path / "meta.json.tmp"
-        tmp.write_text(json.dumps(meta))
+        meta["digest"] = _meta_digest(meta)
+        final = self._snapshot_dir(self._next_id)
+        tmp = final.with_name(final.name + ".tmp")
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
         for name, table in ckpt.tables.items():
-            write_table(table, self.path / f"{name}.rprc")
-        # Atomic-ish publish: the meta rename marks the checkpoint valid.
-        tmp.replace(self.path / "meta.json")
+            write_table(table, tmp / f"{name}.rprc")
+        (tmp / "meta.json").write_text(json.dumps(meta))
+        # Publish: a snapshot directory without the .tmp suffix is, by
+        # contract, complete (the rename is the commit point).
+        tmp.replace(final)
+        self._next_id += 1
         self.n_saved += 1
+        for old in self._snapshot_ids()[: -self.keep]:
+            shutil.rmtree(self._snapshot_dir(old), ignore_errors=True)
 
     def load(self) -> Optional[DriverCheckpoint]:
-        meta_path = self.path / "meta.json"
-        if not meta_path.exists():
+        ids = self._snapshot_ids()
+        if not ids:
             return None
+        errors: List[str] = []
+        for snap_id in reversed(ids):
+            try:
+                return self._load_one(self._snapshot_dir(snap_id))
+            except (CorruptTelemetryError, OSError, KeyError, TypeError) as exc:
+                # Fall back to the newest earlier good snapshot.
+                errors.append(f"ckpt-{snap_id:06d}: {exc}")
+        raise CorruptTelemetryError(
+            "no loadable checkpoint: " + "; ".join(errors)
+        )
+
+    def _load_one(self, snap: Path) -> DriverCheckpoint:
+        meta_path = snap / "meta.json"
+        if not meta_path.exists():
+            raise CorruptTelemetryError("snapshot has no meta.json")
         try:
             meta = json.loads(meta_path.read_text())
         except json.JSONDecodeError as exc:
             raise CorruptTelemetryError(f"corrupt checkpoint meta: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise CorruptTelemetryError("checkpoint meta is not an object")
+        recorded = meta.get("digest")
+        if recorded is None or _meta_digest(meta) != recorded:
+            raise CorruptTelemetryError(
+                "checkpoint meta digest mismatch (tampered or truncated)"
+            )
         if meta.get("version") != CHECKPOINT_VERSION:
             raise CorruptTelemetryError(
                 f"checkpoint version {meta.get('version')} != {CHECKPOINT_VERSION}"
             )
+        table_names = meta.get("tables") or [
+            p.stem for p in sorted(snap.glob("*.rprc"))
+        ]
+        missing = [n for n in self.REQUIRED_TABLES if n not in table_names]
+        if missing:
+            raise CorruptTelemetryError(f"checkpoint lacks tables {missing}")
         tables = {
-            name: read_table(self.path / f"{name}.rprc")
-            for name in ("steps", "epochs", "mitigations")
+            name: read_table(snap / f"{name}.rprc") for name in table_names
         }
         assignment = meta["assignment"]
         return DriverCheckpoint(
@@ -190,6 +267,14 @@ class DirectoryCheckpointStore:
             },
             tables=tables,
         )
+
+
+def _meta_digest(meta: dict) -> str:
+    """SHA-256 over the canonical JSON of everything but the digest."""
+    body = {k: v for k, v in meta.items() if k != "digest"}
+    return hashlib.sha256(
+        json.dumps(body, sort_keys=True).encode()
+    ).hexdigest()
 
 
 def _jsonable_rng(state: dict) -> dict:

@@ -141,6 +141,7 @@ def run_resilient_trajectory(
     """
     from ..engine.core import EpochEngine
     from ..engine.hooks import TelemetryHook
+    from ..engine.transport import TransportHook
     from .hooks import CheckpointHook, FaultTimelineHook, GuardHook, MitigationHook
 
     if isinstance(policy, str):
@@ -163,6 +164,13 @@ def run_resilient_trajectory(
     stack: list = [
         TelemetryHook(),
         GuardHook(resilience),
+    ]
+    if config.transport.is_active:
+        # After the guard (sees its placement charge), before the fault
+        # timeline: a transport rollback is an after_redistribute event
+        # and must land before epoch-end crash handling can abandon it.
+        stack.append(TransportHook(mitigation=mit_engine, monitor=monitor))
+    stack.append(
         FaultTimelineHook(
             timeline,
             resilience,
@@ -171,8 +179,8 @@ def run_resilient_trajectory(
             monitor=monitor,
             engine=mit_engine,
             store=store,
-        ),
-    ]
+        )
+    )
     if resilience.monitoring:
         stack.append(MitigationHook(resilience, monitor, mit_engine))
     if resilience.checkpointing and store is not None:

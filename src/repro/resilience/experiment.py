@@ -27,7 +27,13 @@ from ..amr.driver import DriverConfig, RunSummary
 from ..amr.sedov import SedovConfig, SedovEpoch, SedovWorkload
 from ..engine.hooks import PhaseProfilerHook
 from ..simnet.cluster import Cluster
-from ..simnet.faults import FaultTimeline, NodeCrash, ThrottleOnset
+from ..simnet.faults import (
+    NO_TRANSPORT_FAULTS,
+    FaultTimeline,
+    NodeCrash,
+    ThrottleOnset,
+    TransportFaultModel,
+)
 from .driver import UNMITIGATED, ResilienceConfig, run_resilient_trajectory
 from .mitigation import kind_name
 
@@ -80,6 +86,9 @@ class ResilienceExperimentConfig:
     throttle_step: Optional[int] = 120
     throttle_nodes: tuple = (5,)
     throttle_factor: Optional[float] = 8.0    #: None = cluster default (4x)
+    #: unreliable-fabric model for the two faulty arms (the healthy arm
+    #: always runs on a reliable fabric)
+    transport: TransportFaultModel = NO_TRANSPORT_FAULTS
     checkpoint_interval_epochs: int = 2
     check_determinism: bool = True
     #: attach a PhaseProfilerHook per arm (``result.profiles``)
@@ -145,6 +154,18 @@ class ResilienceExperimentResult:
                 f"evict={s.n_evictions} drain={s.n_drain_enables} "
                 f"mitigation={s.mitigation_s:6.1f}s"
             )
+        if any(s.n_retransmits or s.n_rollbacks or s.n_degraded_epochs
+               for _, s in rows):
+            out.append("")
+            out.append("transport (unreliable fabric):")
+            for label, s in rows:
+                out.append(
+                    f"{label:<22} retrans={s.n_retransmits} "
+                    f"drops={s.n_transport_drops} "
+                    f"dup_suppressed={s.n_dup_suppressed} "
+                    f"rollback={s.n_rollbacks} degraded={s.n_degraded_epochs} "
+                    f"stall={s.transport_stall_s:.3f}s"
+                )
         out.append("")
         out.append("resilient-arm mitigation log:")
         out.extend("  " + line for line in self.mitigation_log())
@@ -166,6 +187,8 @@ def run_resilience_experiment(
     epochs = small_workload(config.n_ranks, config.steps, config.workload_seed)
     cluster = Cluster(n_ranks=config.n_ranks)
     driver_cfg = DriverConfig(seed=config.seed)
+    #: faulty arms additionally run on the unreliable fabric
+    faulty_cfg = DriverConfig(seed=config.seed, transport=config.transport)
     timeline = config.timeline()
     resilience = ResilienceConfig(
         checkpoint_interval_epochs=config.checkpoint_interval_epochs
@@ -186,19 +209,19 @@ def run_resilience_experiment(
         hooks=arm_hooks("healthy"),
     )
     unmitigated = run_resilient_trajectory(
-        config.policy, epochs, cluster, driver_cfg,
+        config.policy, epochs, cluster, faulty_cfg,
         resilience=UNMITIGATED, timeline=timeline,
         hooks=arm_hooks("unmitigated"),
     )
     resilient = run_resilient_trajectory(
-        config.policy, epochs, cluster, driver_cfg,
+        config.policy, epochs, cluster, faulty_cfg,
         resilience=resilience, timeline=timeline,
         hooks=arm_hooks("resilient"),
     )
     deterministic: Optional[bool] = None
     if config.check_determinism:
         rerun = run_resilient_trajectory(
-            config.policy, epochs, cluster, driver_cfg,
+            config.policy, epochs, cluster, faulty_cfg,
             resilience=resilience, timeline=timeline,
         )
         deterministic = (
@@ -206,6 +229,9 @@ def run_resilience_experiment(
             and rerun.phase_rank_seconds == resilient.phase_rank_seconds
             and rerun.n_evictions == resilient.n_evictions
             and rerun.evicted_nodes == resilient.evicted_nodes
+            and rerun.n_retransmits == resilient.n_retransmits
+            and rerun.n_rollbacks == resilient.n_rollbacks
+            and rerun.n_degraded_epochs == resilient.n_degraded_epochs
         )
     return ResilienceExperimentResult(
         healthy=healthy,

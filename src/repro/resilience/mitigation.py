@@ -37,6 +37,10 @@ MITIGATION_KINDS = {
     "checkpoint": 3,
     "restore": 4,
     "policy_fallback": 5,
+    # codes 6/7 are mirrored as literals in repro.engine.transport
+    # (the engine layer cannot import resilience)
+    "transport_rollback": 6,
+    "stale_placement": 7,
 }
 
 _KIND_NAMES = {v: k for k, v in MITIGATION_KINDS.items()}

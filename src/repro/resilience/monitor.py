@@ -41,12 +41,20 @@ class HealthMonitor:
         self.config = config
         self.assessments: List[Tuple[int, AnomalyAssessment]] = []
         self._records_at_reconfig = 0
+        #: (epoch, kind code, detail) transport events surfaced by a
+        #: :class:`repro.engine.TransportHook` — a flaky link is a
+        #: health signal just like a throttled node
+        self.transport_events: List[Tuple[int, int, str]] = []
 
     # ------------------------------------------------------------------ #
 
     def notify_reconfigured(self, collector: TelemetryCollector) -> None:
         """Tell the monitor the cluster changed shape (starts a cooldown)."""
         self._records_at_reconfig = collector.n_recorded_steps
+
+    def note_transport_event(self, epoch: int, kind: int, detail: str) -> None:
+        """Log a transport-layer event (rollback, degraded epoch)."""
+        self.transport_events.append((epoch, kind, detail))
 
     def ready(self, collector: TelemetryCollector) -> bool:
         """Whether the trailing window is entirely post-reconfiguration."""

@@ -14,15 +14,20 @@ from .cluster import Cluster
 from .events import Emit, Engine, SimEvent, Timeout, WaitEvent
 from .faults import (
     NO_FAULTS,
+    NO_TRANSPORT_FAULTS,
     FabricDegradation,
     FaultEvent,
     FaultModel,
     FaultTimeline,
+    MigrationTransportSample,
     NodeCrash,
     ThrottleOnset,
+    TransportExhaustedError,
+    TransportFaultModel,
+    parse_transport_spec,
 )
 from .machine import DEFAULT_FABRIC, DEFAULT_MACHINE, FabricSpec, MachineSpec
-from .mpi import PhaseTimes, Request, SimMPI
+from .mpi import PhaseTimes, Request, SimMPI, TransportStats
 from .runtime import BSPModel, ExchangePattern, StepPhases
 from .tuning import TUNED, UNTUNED, TuningConfig
 from .validate import DESComparison, compare_models, run_des_step
@@ -44,7 +49,9 @@ __all__ = [
     "FaultModel",
     "FaultTimeline",
     "MachineSpec",
+    "MigrationTransportSample",
     "NO_FAULTS",
+    "NO_TRANSPORT_FAULTS",
     "NodeCrash",
     "ThrottleOnset",
     "PhaseTimes",
@@ -53,9 +60,12 @@ __all__ = [
     "SimMPI",
     "StepPhases",
     "TUNED",
-    "TUNED",
     "Timeout",
+    "TransportExhaustedError",
+    "TransportFaultModel",
+    "TransportStats",
     "TuningConfig",
     "UNTUNED",
     "WaitEvent",
+    "parse_transport_spec",
 ]

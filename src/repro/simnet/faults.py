@@ -40,6 +40,11 @@ __all__ = [
     "FabricDegradation",
     "FaultEvent",
     "FaultTimeline",
+    "TransportFaultModel",
+    "NO_TRANSPORT_FAULTS",
+    "MigrationTransportSample",
+    "TransportExhaustedError",
+    "parse_transport_spec",
 ]
 
 
@@ -302,3 +307,273 @@ class FaultTimeline:
         return dataclasses.replace(
             self.base, ack_loss_prob=prob, ack_recovery_s=rec
         )
+
+
+# --------------------------------------------------------------------- #
+# Unreliable transport: loss / duplication / reorder + retransmission
+# --------------------------------------------------------------------- #
+
+
+class TransportExhaustedError(RuntimeError):
+    """A message (or migration transfer) exhausted its retry budget.
+
+    At the discrete-event layer this aborts the simulated program (the
+    fabric is effectively partitioned for that link); at the epoch-engine
+    layer :class:`repro.engine.TransportHook` catches the equivalent
+    condition and rolls the redistribution back instead.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class MigrationTransportSample:
+    """Sampled transport behaviour of one bulk block migration.
+
+    Produced by :meth:`TransportFaultModel.sample_migration`: a
+    deterministic (given the RNG state) draw of how many copies were
+    dropped, retransmitted, duplicated, and reordered while migrating
+    ``attempted`` blocks, plus the timeout/backoff stall of the slowest
+    transfer and the number of transfers that exhausted the retry budget.
+    """
+
+    attempted: int = 0
+    retransmits: int = 0
+    drops: int = 0
+    duplicates: int = 0        #: duplicate copies suppressed at receivers
+    reorders: int = 0          #: copies delivered out of order (resequenced)
+    stall_s: float = 0.0       #: timeout/backoff stall of the critical transfer
+    failed: int = 0            #: transfers that exhausted the retry budget
+
+    @property
+    def exhausted(self) -> bool:
+        return self.failed > 0
+
+
+@dataclasses.dataclass(frozen=True)
+class TransportFaultModel:
+    """Per-link unreliable-fabric behaviour plus the retransmit protocol.
+
+    The paper spent weeks pruning unhealthy nodes and tuning MVAPICH2/PSM
+    retransmission before its telemetry could be trusted (§III); this
+    model makes the simulated fabric *lossy* so that the resilience stack
+    can be exercised against partial failure of the data path, not just
+    slow hardware.
+
+    Attributes
+    ----------
+    loss_prob:
+        Per-copy probability that a remote message (data or its ACK) is
+        dropped on the wire.
+    duplicate_prob:
+        Per-delivered-copy probability the fabric delivers it twice
+        (receivers suppress duplicates by sequence number).
+    reorder_prob:
+        Per-copy probability the copy is delayed by ``reorder_delay_s``,
+        potentially arriving after its successors (receivers restore
+        per-channel order via a resequencing buffer).
+    reorder_delay_s:
+        Extra latency applied to a reordered copy.
+    ack_timeout_s:
+        Initial retransmission timeout; doubles (``backoff_factor``) on
+        every unacknowledged attempt.
+    backoff_factor:
+        Exponential-backoff multiplier on the retransmission timeout.
+    max_retries:
+        Retransmissions allowed per message before the transfer is
+        declared failed (``max_retries + 1`` attempts total).
+    bad_links:
+        Unordered node-id pairs whose link multiplies ``loss_prob`` by
+        ``bad_link_factor`` (the paper's flaky-cable scenario).
+    bad_link_factor:
+        Loss multiplier on ``bad_links`` (capped so delivery stays
+        possible).
+    seed:
+        Seed of the dedicated transport RNG stream, kept separate from
+        the compute/measurement streams so enabling transport faults
+        never perturbs them.
+    """
+
+    loss_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    reorder_prob: float = 0.0
+    reorder_delay_s: float = 250.0e-6
+    ack_timeout_s: float = 2.0e-3
+    backoff_factor: float = 2.0
+    max_retries: int = 6
+    bad_links: Tuple[Tuple[int, int], ...] = ()
+    bad_link_factor: float = 10.0
+    seed: int = 777
+
+    _LINK_LOSS_CAP = 0.99
+
+    def __post_init__(self) -> None:
+        for name in ("loss_prob", "duplicate_prob", "reorder_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        for name in ("reorder_delay_s", "ack_timeout_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.bad_link_factor < 1.0:
+            raise ValueError("bad_link_factor must be >= 1")
+        links = tuple(
+            (min(int(a), int(b)), max(int(a), int(b))) for a, b in self.bad_links
+        )
+        for a, b in links:
+            if a < 0:
+                raise ValueError(f"node ids must be >= 0, got link ({a}, {b})")
+        object.__setattr__(self, "bad_links", links)
+        if not isinstance(self.seed, (int, np.integer)) or isinstance(self.seed, bool):
+            raise ValueError(f"seed must be an integer, got {self.seed!r}")
+        if self.seed < 0:
+            raise ValueError("seed must be >= 0 (numpy Generator requirement)")
+
+    @property
+    def is_active(self) -> bool:
+        """Whether any fault rate is nonzero (rate 0 = today's fabric)."""
+        return (
+            self.loss_prob > 0.0
+            or self.duplicate_prob > 0.0
+            or self.reorder_prob > 0.0
+        )
+
+    def link_loss_prob(self, node_a: int, node_b: int) -> float:
+        """Per-copy loss probability on the (node_a, node_b) link."""
+        p = self.loss_prob
+        if self.bad_links:
+            key = (min(int(node_a), int(node_b)), max(int(node_a), int(node_b)))
+            if key in self.bad_links:
+                p = min(p * self.bad_link_factor, self._LINK_LOSS_CAP)
+        return p
+
+    def attempt_failure_prob(self, node_a: int, node_b: int) -> float:
+        """Probability one attempt fails: the data copy *or* its ACK lost."""
+        p = self.link_loss_prob(node_a, node_b)
+        return 1.0 - (1.0 - p) * (1.0 - p)
+
+    def retry_stall_s(self, n_timeouts: np.ndarray | int) -> np.ndarray | float:
+        """Total timeout/backoff stall after ``n_timeouts`` expired timers.
+
+        Geometric series ``rto * (b^n - 1) / (b - 1)`` (or ``rto * n``
+        when the backoff factor is 1).
+        """
+        n = np.asarray(n_timeouts, dtype=np.float64)
+        if self.backoff_factor == 1.0:
+            out = self.ack_timeout_s * n
+        else:
+            b = self.backoff_factor
+            out = self.ack_timeout_s * (np.power(b, n) - 1.0) / (b - 1.0)
+        return out if out.ndim else float(out)
+
+    def sample_migration(
+        self,
+        src_nodes: np.ndarray,
+        dst_nodes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> MigrationTransportSample:
+        """Sample the transport behaviour of one bulk migration.
+
+        One transfer per migrating block, each crossing the
+        ``(src_node, dst_node)`` link once per attempt.  Per transfer the
+        number of attempts needed is geometric in the per-attempt failure
+        probability (data copy or ACK lost); a transfer needing more than
+        ``max_retries + 1`` attempts has exhausted its budget and counts
+        as *failed* — the caller rolls the redistribution back.  The
+        stall charge is the slowest single transfer's accumulated
+        timeout/backoff wait (transfers overlap across ranks).
+        """
+        src = np.asarray(src_nodes, dtype=np.int64)
+        dst = np.asarray(dst_nodes, dtype=np.int64)
+        n = int(src.shape[0])
+        if n == 0 or not self.is_active:
+            return MigrationTransportSample(attempted=n)
+        q = np.array(
+            [self.attempt_failure_prob(a, b) for a, b in zip(src, dst)],
+            dtype=np.float64,
+        )
+        budget = self.max_retries + 1
+        if np.any(q > 0.0):
+            needed = rng.geometric(np.maximum(1.0 - q, 1e-12))
+        else:
+            needed = np.ones(n, dtype=np.int64)
+        failed_mask = needed > budget
+        attempts = np.minimum(needed, budget)
+        retransmits = int((attempts - 1).sum())
+        n_failed = int(failed_mask.sum())
+        drops = retransmits + n_failed
+        total_attempts = int(attempts.sum())
+        duplicates = (
+            int(rng.binomial(total_attempts, self.duplicate_prob))
+            if self.duplicate_prob > 0.0
+            else 0
+        )
+        reorders = (
+            int(rng.binomial(total_attempts, self.reorder_prob))
+            if self.reorder_prob > 0.0
+            else 0
+        )
+        # A failed transfer waits out every timeout in its budget; a
+        # successful one waits one timeout per retransmission.
+        timeouts = attempts - 1 + failed_mask.astype(np.int64)
+        stall_s = float(np.max(self.retry_stall_s(timeouts))) if n else 0.0
+        return MigrationTransportSample(
+            attempted=n,
+            retransmits=retransmits,
+            drops=drops,
+            duplicates=duplicates,
+            reorders=reorders,
+            stall_s=stall_s,
+            failed=n_failed,
+        )
+
+
+#: A perfectly reliable fabric: every copy delivered exactly once.
+NO_TRANSPORT_FAULTS = TransportFaultModel()
+
+#: ``parse_transport_spec`` key → (field, converter).
+_TRANSPORT_SPEC_KEYS = {
+    "loss": ("loss_prob", float),
+    "dup": ("duplicate_prob", float),
+    "reorder": ("reorder_prob", float),
+    "reorder_delay": ("reorder_delay_s", float),
+    "timeout": ("ack_timeout_s", float),
+    "backoff": ("backoff_factor", float),
+    "retries": ("max_retries", int),
+    "bad_link_factor": ("bad_link_factor", float),
+    "seed": ("seed", int),
+}
+
+
+def parse_transport_spec(spec: str) -> TransportFaultModel:
+    """Parse a CLI transport-fault spec into a :class:`TransportFaultModel`.
+
+    Format: comma-separated ``key=value`` pairs, e.g.
+    ``"loss=0.05,dup=0.01,reorder=0.02,retries=4,seed=11"``.  Keys:
+    ``loss``, ``dup``, ``reorder``, ``reorder_delay``, ``timeout``,
+    ``backoff``, ``retries``, ``bad_link_factor``, ``seed``.
+    """
+    kwargs = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ValueError(
+                f"bad transport spec item {part!r}: expected key=value"
+            )
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        if key not in _TRANSPORT_SPEC_KEYS:
+            raise ValueError(
+                f"unknown transport spec key {key!r}; "
+                f"valid: {sorted(_TRANSPORT_SPEC_KEYS)}"
+            )
+        field, conv = _TRANSPORT_SPEC_KEYS[key]
+        try:
+            kwargs[field] = conv(raw.strip())
+        except ValueError as exc:
+            raise ValueError(f"bad value for {key!r}: {raw!r}") from exc
+    return TransportFaultModel(**kwargs)

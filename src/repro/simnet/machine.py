@@ -76,6 +76,11 @@ class FabricSpec:
         when locality clusters traffic (Fig. 7a).
     collective_base_s / collective_per_level_s:
         Allreduce cost model: ``base + per_level * log2(r)``.
+    ack_latency_s:
+        One-way latency of a transport-level acknowledgment (tiny
+        control packet; no payload serialization).  Only exercised when
+        a :class:`~repro.simnet.faults.TransportFaultModel` activates
+        the retransmit protocol.
     """
 
     local_latency_s: float = 1.0e-6
@@ -86,6 +91,7 @@ class FabricSpec:
     remote_service_s: float = 500.0e-6
     collective_base_s: float = 10.0e-6
     collective_per_level_s: float = 5.0e-6
+    ack_latency_s: float = 2.0e-6
     #: extra one-way latency for messages crossing leaf switches in a
     #: two-tier (fat-tree-style) topology; 0 on a flat network
     cross_switch_extra_s: float = 0.0
@@ -100,6 +106,7 @@ class FabricSpec:
             "remote_service_s",
             "collective_base_s",
             "collective_per_level_s",
+            "ack_latency_s",
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")

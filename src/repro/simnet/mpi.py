@@ -21,11 +21,17 @@ import numpy as np
 
 from .cluster import Cluster
 from .events import Emit, Engine, SimEvent, Timeout, WaitEvent
-from .faults import NO_FAULTS, FaultModel
+from .faults import (
+    NO_FAULTS,
+    NO_TRANSPORT_FAULTS,
+    FaultModel,
+    TransportExhaustedError,
+    TransportFaultModel,
+)
 from .machine import DEFAULT_FABRIC, FabricSpec
 from .tuning import TUNED, TuningConfig
 
-__all__ = ["SimMPI", "Request", "PhaseTimes"]
+__all__ = ["SimMPI", "Request", "PhaseTimes", "TransportStats"]
 
 
 @dataclasses.dataclass
@@ -51,6 +57,29 @@ class PhaseTimes:
     @property
     def total_s(self) -> float:
         return self.compute_s + self.wait_s + self.sync_s
+
+
+@dataclasses.dataclass
+class TransportStats:
+    """Counters of the reliable-transport protocol for one simulated run.
+
+    ``delivered_order`` logs, per (src, dst, tag) channel, the sequence
+    numbers in the order the resequencing buffer released them to the
+    application — the property tests assert it is always ``0..n-1``.
+    """
+
+    messages: int = 0             #: logical sends entering the protocol
+    attempts: int = 0             #: copies put on the wire (incl. retransmits)
+    delivered: int = 0            #: in-order releases to the application
+    drops: int = 0                #: copies (data or ACK) lost on the wire
+    retransmits: int = 0          #: timeout-driven re-sends
+    duplicates: int = 0           #: fabric-injected duplicate copies
+    dup_suppressed: int = 0       #: copies discarded by sequence check
+    reorders: int = 0             #: copies delayed past their successors
+    exhausted: int = 0            #: messages that ran out of retries
+    delivered_order: Dict[Tuple[int, int, int], List[int]] = dataclasses.field(
+        default_factory=dict
+    )
 
 
 class _Mailbox:
@@ -82,6 +111,7 @@ class SimMPI:
         fabric: FabricSpec = DEFAULT_FABRIC,
         tuning: TuningConfig = TUNED,
         faults: FaultModel = NO_FAULTS,
+        transport: TransportFaultModel = NO_TRANSPORT_FAULTS,
         seed: int = 0,
     ) -> None:
         self.engine = engine
@@ -89,6 +119,7 @@ class SimMPI:
         self.fabric = fabric
         self.tuning = tuning
         self.faults = faults
+        self.transport = transport
         self.rng = np.random.default_rng(seed)
         self.n_ranks = cluster.n_ranks
         self._boxes: Dict[Tuple[int, int, int], _Mailbox] = {}
@@ -97,6 +128,14 @@ class SimMPI:
         self._barrier_round = np.zeros(self.n_ranks, dtype=np.int64)
         self.phases: List[PhaseTimes] = [PhaseTimes() for _ in range(self.n_ranks)]
         self.message_log: List[Tuple[int, int, int, float, float]] = []
+        # Reliable-transport state (touched only when transport.is_active:
+        # the rate-0 default leaves every code path and RNG draw of the
+        # reliable fabric bit-identical to the pre-transport layer).
+        self.transport_stats = TransportStats()
+        self._trng = np.random.default_rng((seed, transport.seed))
+        self._send_seq: Dict[Tuple[int, int, int], int] = {}
+        self._recv_seq: Dict[Tuple[int, int, int], int] = {}
+        self._resequence: Dict[Tuple[int, int, int], Dict[int, None]] = {}
 
     # ------------------------------------------------------------------ #
     # latency model
@@ -147,7 +186,16 @@ class SimMPI:
         recovery stall is injected (and the drain queue is off), in which
         case waiting on it blocks for the recovery time — the Fig. 1b
         anomaly.
+
+        With an active :class:`TransportFaultModel` a *remote* send goes
+        through the reliable-delivery protocol instead: per-channel
+        sequence numbers, positive ACKs, timeout retransmission with
+        exponential backoff, receiver-side duplicate suppression and
+        resequencing.  The send request then completes when the message
+        is acknowledged.
         """
+        if self.transport.is_active and not self.is_local(src, dst):
+            return self._isend_reliable(src, dst, tag, size)
         now = self.engine.now
         latency = self.message_latency(src, dst, size)
         arrival_ev = self.engine.event()
@@ -254,3 +302,107 @@ class SimMPI:
             yield Emit(event, None)
 
         self.engine.spawn(timer(), name="timer")
+
+    # ------------------------------------------------------------------ #
+    # reliable-delivery protocol (active TransportFaultModel only)
+    # ------------------------------------------------------------------ #
+
+    def _isend_reliable(self, src: int, dst: int, tag: int, size: float) -> Request:
+        """Send one message through the ACK/retransmit protocol.
+
+        The returned request's event fires when the sender receives the
+        ACK (reliable-completion semantics).  Raises
+        :class:`TransportExhaustedError` out of the engine loop if the
+        retry budget is exhausted — the link is effectively down.
+        """
+        t = self.transport
+        key = (src, dst, tag)
+        seq = self._send_seq.get(key, 0)
+        self._send_seq[key] = seq + 1
+        self.transport_stats.messages += 1
+        p_loss = t.link_loss_prob(
+            int(self.cluster.node_of(src)), int(self.cluster.node_of(dst))
+        )
+        send_ev = self.engine.event()
+
+        def sender() -> Generator:
+            stats = self.transport_stats
+            rto = t.ack_timeout_s
+            for attempt in range(t.max_retries + 1):
+                stats.attempts += 1
+                data_lost = self._trng.random() < p_loss
+                ack_lost = False
+                if not data_lost:
+                    latency = self.message_latency(src, dst, size)
+                    if self._trng.random() < t.reorder_prob:
+                        latency += t.reorder_delay_s
+                        stats.reorders += 1
+                    t0 = self.engine.now
+                    self._deliver_copy_later(latency, src, dst, tag, seq)
+                    self.message_log.append((src, dst, tag, t0, t0 + latency))
+                    if self._trng.random() < t.duplicate_prob:
+                        stats.duplicates += 1
+                        stats.attempts += 1
+                        self._deliver_copy_later(
+                            latency + self.fabric.ack_latency_s, src, dst, tag, seq
+                        )
+                    ack_lost = self._trng.random() < p_loss
+                    if not ack_lost:
+                        # Sender learns of success after the ACK round trip.
+                        yield Timeout(latency + self.fabric.ack_latency_s)
+                        yield Emit(send_ev, None)
+                        return
+                stats.drops += 1
+                yield Timeout(rto)
+                rto *= t.backoff_factor
+                if attempt < t.max_retries:
+                    stats.retransmits += 1
+            stats.exhausted += 1
+            raise TransportExhaustedError(
+                f"message {src}->{dst}#{tag} seq {seq} undelivered after "
+                f"{t.max_retries} retransmissions"
+            )
+
+        self.engine.spawn(sender(), name=f"xmit {src}->{dst}#{tag}:{seq}")
+        return Request("send", send_ev, src, dst, tag, size)
+
+    def _deliver_copy_later(
+        self, delay: float, src: int, dst: int, tag: int, seq: int
+    ) -> None:
+        """Schedule one wire copy; the receiver resequences on arrival."""
+
+        def timer() -> Generator:
+            yield Timeout(delay)
+            for ev, payload in self._accept_copy(src, dst, tag, seq):
+                yield Emit(ev, payload)
+
+        self.engine.spawn(timer(), name=f"copy {src}->{dst}#{tag}:{seq}")
+
+    def _accept_copy(self, src: int, dst: int, tag: int, seq: int):
+        """Receiver-side protocol: suppress duplicates, restore order.
+
+        Returns the (event, payload) pairs to fire for every message the
+        in-order prefix release hands to the application mailbox.
+        """
+        key = (src, dst, tag)
+        stats = self.transport_stats
+        expected = self._recv_seq.get(key, 0)
+        buf = self._resequence.setdefault(key, {})
+        if seq < expected or seq in buf:
+            stats.dup_suppressed += 1
+            return []
+        buf[seq] = None
+        fires = []
+        box = self._box(src, dst, tag)
+        order = stats.delivered_order.setdefault(key, [])
+        while expected in buf:
+            del buf[expected]
+            order.append(expected)
+            stats.delivered += 1
+            if box.pending:
+                fires.append((box.pending.pop(0), None))
+            else:
+                box.arrivals.append((self.engine.now, None))
+            expected += 1
+        self._recv_seq[key] = expected
+        return fires

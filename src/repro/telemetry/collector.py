@@ -52,6 +52,13 @@ class TelemetryCollector:
         self._mitigations: Dict[str, List[float]] = {
             k: [] for k in ("step", "epoch", "kind", "n_nodes", "cost_s")
         }
+        self._transport: Dict[str, List[float]] = {
+            k: []
+            for k in (
+                "step", "epoch", "retransmits", "drops", "dup_suppressed",
+                "reorders", "rollback", "degraded", "stall_s",
+            )
+        }
 
     # ------------------------------------------------------------------ #
 
@@ -163,6 +170,34 @@ class TelemetryCollector:
         m["n_nodes"].append(n_nodes)
         m["cost_s"].append(cost_s)
 
+    def record_transport(
+        self,
+        step: int,
+        epoch: int,
+        retransmits: int = 0,
+        drops: int = 0,
+        dup_suppressed: int = 0,
+        reorders: int = 0,
+        rollback: int = 0,
+        degraded: int = 0,
+        stall_s: float = 0.0,
+    ) -> None:
+        """Log one epoch's transport-protocol activity (retransmissions,
+        losses, duplicate suppressions, reorders) plus the transactional
+        outcome: ``rollback`` = this redistribution aborted to the stale
+        placement, ``degraded`` = the epoch ran on a held stale placement.
+        """
+        t = self._transport
+        t["step"].append(step)
+        t["epoch"].append(epoch)
+        t["retransmits"].append(retransmits)
+        t["drops"].append(drops)
+        t["dup_suppressed"].append(dup_suppressed)
+        t["reorders"].append(reorders)
+        t["rollback"].append(rollback)
+        t["degraded"].append(degraded)
+        t["stall_s"].append(stall_s)
+
     # ------------------------------------------------------------------ #
 
     def steps_table(self) -> ColumnTable:
@@ -214,6 +249,13 @@ class TelemetryCollector:
             cols[name] = np.asarray(vals, dtype=dtype)
         return ColumnTable(cols)
 
+    def transport_table(self) -> ColumnTable:
+        cols = {}
+        for name, vals in self._transport.items():
+            dtype = np.float64 if name == "stall_s" else np.int64
+            cols[name] = np.asarray(vals, dtype=dtype)
+        return ColumnTable(cols)
+
     # ------------------------------------------------------------------ #
 
     def snapshot_tables(self) -> Dict[str, ColumnTable]:
@@ -222,6 +264,7 @@ class TelemetryCollector:
             "steps": self.steps_table(),
             "epochs": self.epochs_table(),
             "mitigations": self.mitigations_table(),
+            "transport": self.transport_table(),
         }
 
     def restore_tables(self, tables: Dict[str, ColumnTable]) -> None:
@@ -252,6 +295,10 @@ class TelemetryCollector:
         if mit is not None:
             for name in self._mitigations:
                 self._mitigations[name] = mit[name].tolist()
+        tr = tables.get("transport")
+        if tr is not None:
+            for name in self._transport:
+                self._transport[name] = tr[name].tolist()
 
     def phase_totals(self) -> Dict[str, float]:
         """Weighted rank-second totals per phase across the whole run."""

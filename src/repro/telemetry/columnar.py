@@ -21,7 +21,9 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import struct
+import zlib
 from pathlib import Path
 from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
 
@@ -207,6 +209,7 @@ def write_table(table: ColumnTable, path: str | Path) -> int:
                 "dtype": col.dtype.str if col.dtype.kind != "b" else "|b1",
                 "offset": offset,
                 "nbytes": len(raw),
+                "crc32": zlib.crc32(raw),
                 "min": None if np.isnan(stats[name][0]) else stats[name][0],
                 "max": None if np.isnan(stats[name][1]) else stats[name][1],
             }
@@ -214,12 +217,19 @@ def write_table(table: ColumnTable, path: str | Path) -> int:
         payloads.append(raw)
         offset += len(raw)
     header = json.dumps({"n_rows": table.n_rows, "columns": meta_cols}).encode()
-    with open(path, "wb") as fh:
+    # Write-to-temp + atomic rename: readers never observe a torn file
+    # (a crash mid-write leaves the old file intact, at worst plus a
+    # stray .tmp that the next write overwrites).
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
         fh.write(_MAGIC)
         fh.write(struct.pack("<I", len(header)))
         fh.write(header)
         for p in payloads:
             fh.write(p)
+        fh.flush()
+        os.fsync(fh.fileno())
+    tmp.replace(path)
     return len(_MAGIC) + 4 + len(header) + offset
 
 
@@ -279,6 +289,14 @@ def read_table(path: str | Path, columns: Sequence[str] | None = None) -> Column
                     f"truncated payload for column {c['name']!r}: expected "
                     f"{c['nbytes']} bytes, file has {len(raw)}"
                 )
+            # Per-column CRC32 (absent in files written before the
+            # checksum was introduced — those verify nothing).
+            expected_crc = c.get("crc32")
+            if expected_crc is not None and zlib.crc32(raw) != expected_crc:
+                raise CorruptTelemetryError(
+                    f"checksum mismatch for column {c['name']!r}: payload "
+                    f"bytes do not match the recorded CRC32"
+                )
             try:
                 arr = np.frombuffer(raw, dtype=np.dtype(c["dtype"]))
             except (ValueError, TypeError) as exc:
@@ -293,4 +311,9 @@ def read_table(path: str | Path, columns: Sequence[str] | None = None) -> Column
     # Preserve requested order when a subset was asked for.
     if columns is not None:
         cols = {n: cols[n] for n in columns}
-    return ColumnTable(cols)
+    try:
+        return ColumnTable(cols)
+    except ValueError as exc:
+        # Inconsistent column lengths = the header's schema disagrees
+        # with the payloads (schema-mismatch corruption).
+        raise CorruptTelemetryError(f"inconsistent table schema: {exc}") from exc

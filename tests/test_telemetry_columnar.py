@@ -6,7 +6,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro.telemetry import ColumnTable, read_stats, read_table, write_table
+from repro.telemetry import (
+    ColumnTable,
+    CorruptTelemetryError,
+    read_stats,
+    read_table,
+    write_table,
+)
 
 column_strategy = st.one_of(
     hnp.arrays(np.int64, st.integers(0, 50), elements=st.integers(-1000, 1000)),
@@ -129,3 +135,108 @@ class TestFileFormat:
         write_table(t, p)
         got = read_table(p)
         assert got.n_rows == 0 and got.names == ["a"]
+
+
+class TestCorruption:
+    """Every flavour of on-disk damage must raise CorruptTelemetryError
+    (one catchable type), never a storage-internal exception or — worse —
+    silently wrong data."""
+
+    def _write(self, tmp_path, name="t.rprc"):
+        t = ColumnTable({"a": np.arange(100), "b": np.linspace(0.0, 1.0, 100)})
+        p = tmp_path / name
+        write_table(t, p)
+        return t, p
+
+    def test_truncated_payload_detected(self, tmp_path):
+        _, p = self._write(tmp_path)
+        p.write_bytes(p.read_bytes()[:-32])
+        with pytest.raises(CorruptTelemetryError, match="truncated payload"):
+            read_table(p)
+
+    def test_truncated_header_detected(self, tmp_path):
+        _, p = self._write(tmp_path)
+        p.write_bytes(p.read_bytes()[:20])
+        with pytest.raises(CorruptTelemetryError, match="truncated header"):
+            read_table(p)
+
+    def test_bitflip_fails_checksum(self, tmp_path):
+        t, p = self._write(tmp_path)
+        raw = bytearray(p.read_bytes())
+        raw[-8] ^= 0x01          # flip one bit inside the last column
+        p.write_bytes(bytes(raw))
+        with pytest.raises(CorruptTelemetryError, match="checksum mismatch"):
+            read_table(p)
+
+    def test_checksum_checked_per_column(self, tmp_path):
+        # Damage only column "b"; a subset read of "a" must still work.
+        t, p = self._write(tmp_path)
+        raw = bytearray(p.read_bytes())
+        raw[-8] ^= 0x01
+        p.write_bytes(bytes(raw))
+        sub = read_table(p, columns=["a"])
+        assert np.array_equal(sub["a"], t["a"])
+        with pytest.raises(CorruptTelemetryError, match="column 'b'"):
+            read_table(p, columns=["b"])
+
+    def test_garbage_header_json(self, tmp_path):
+        import struct
+
+        p = tmp_path / "t.rprc"
+        payload = b"{not json"
+        p.write_bytes(b"RPRC01\n" + struct.pack("<I", len(payload)) + payload)
+        with pytest.raises(CorruptTelemetryError, match="garbage header"):
+            read_table(p)
+
+    def test_schema_mismatch_between_header_and_payload(self, tmp_path):
+        # Shrink one column's advertised nbytes (and forge its CRC so the
+        # checksum passes): the decoded lengths disagree — schema-mismatch
+        # corruption, not a numpy shape error.
+        import json
+        import struct
+        import zlib
+
+        _, p = self._write(tmp_path)
+        raw = p.read_bytes()
+        hlen = struct.unpack("<I", raw[7:11])[0]
+        header = json.loads(raw[11 : 11 + hlen])
+        body = raw[11 + hlen :]
+        col = header["columns"][0]
+        col["nbytes"] -= 8
+        col["crc32"] = zlib.crc32(
+            body[col["offset"] : col["offset"] + col["nbytes"]]
+        )
+        new_header = json.dumps(header).encode()
+        p.write_bytes(
+            raw[:7] + struct.pack("<I", len(new_header)) + new_header + body
+        )
+        with pytest.raises(CorruptTelemetryError, match="schema"):
+            read_table(p)
+
+    def test_pre_checksum_files_still_readable(self, tmp_path):
+        # Files written before the CRC32 existed have no "crc32" key;
+        # they must load (verifying nothing) for forward compatibility.
+        import json
+        import struct
+
+        t, p = self._write(tmp_path)
+        raw = p.read_bytes()
+        hlen = struct.unpack("<I", raw[7:11])[0]
+        header = json.loads(raw[11 : 11 + hlen])
+        for col in header["columns"]:
+            del col["crc32"]
+        new_header = json.dumps(header).encode()
+        p.write_bytes(
+            raw[:7] + struct.pack("<I", len(new_header)) + new_header
+            + raw[11 + hlen :]
+        )
+        assert read_table(p) == t
+
+    def test_write_is_atomic(self, tmp_path):
+        # A successful write leaves no .tmp behind, and rewriting a table
+        # replaces the file in one step (same content, fresh checksums).
+        t, p = self._write(tmp_path)
+        assert not (tmp_path / "t.rprc.tmp").exists()
+        write_table(t, p)
+        assert read_table(p) == t
+        assert not (tmp_path / "t.rprc.tmp").exists()
