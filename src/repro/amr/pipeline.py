@@ -116,6 +116,11 @@ class Simulation:
         self.collector = TelemetryCollector(n_ranks, ranks_per_node)
         self.assignment: Optional[np.ndarray] = None
         self._prev_blocks: Optional[List[BlockIndex]] = None
+        # Per-assignment-epoch step-recording layout (see _refresh_layout).
+        self._row_of: Dict[BlockIndex, int] = {}
+        self._per_block: np.ndarray = np.zeros(0)
+        self._block_counts: np.ndarray = np.zeros(0, dtype=np.int64)
+        self._zero_comm = np.zeros(n_ranks)
         self.redistributions = 0
         self.trigger_skips = 0
         self.migrated_blocks = 0
@@ -130,12 +135,27 @@ class Simulation:
 
     def _measured_costs(self) -> np.ndarray:
         """EWMA-smoothed measured cost per block in SFC order."""
-        if self.solver.kernel_times:
-            blocks = list(self.solver.kernel_times)
+        kt = self.solver.kernel_times
+        if kt:
             self.tracker.observe_all(
-                blocks, np.asarray([self.solver.kernel_times[b] for b in blocks])
+                list(kt), np.fromiter(kt.values(), dtype=np.float64, count=len(kt))
             )
         return self.tracker.estimates(self.mesh.blocks)
+
+    def _refresh_layout(self) -> None:
+        """(Re)build the step-recording layout for the current assignment.
+
+        The block→row index, the per-block scratch buffer, and the
+        per-rank block counts are invariant between redistributions, so
+        they are built once per assignment epoch instead of on every
+        step.  ``_block_counts`` is handed to the collector (which keeps
+        references) and must never be mutated in place — each refresh
+        allocates a fresh array.
+        """
+        blocks = self.mesh.blocks
+        self._row_of = {b: i for i, b in enumerate(blocks)}
+        self._per_block = np.zeros(len(blocks))
+        self._block_counts = np.bincount(self.assignment, minlength=self.n_ranks)
 
     def _redistribute(self, force: bool) -> None:
         costs = self._measured_costs()
@@ -152,6 +172,7 @@ class Simulation:
                     self.trigger_skips += 1
                     self.assignment = carried
                     self._prev_blocks = list(blocks)
+                    self._refresh_layout()
                     return
         result = self.policy.place(costs, self.n_ranks)
         if carried is not None:
@@ -159,15 +180,24 @@ class Simulation:
             self.migrated_blocks += moved
         self.assignment = result.assignment
         self._prev_blocks = list(blocks)
+        self._refresh_layout()
         self.redistributions += 1
 
     def _record_step(self) -> None:
         """Attribute measured kernel times to simulated ranks."""
         if self.assignment is None:
             return
-        blocks = self.mesh.blocks
-        kt = self.solver.kernel_times
-        per_block = np.asarray([kt.get(b, 0.0) for b in blocks])
+        # Scatter this step's kernel times into the preallocated
+        # per-block buffer via the epoch's block→row index (blocks with
+        # no measurement stay 0, measurements for vanished blocks are
+        # dropped — same semantics as rebuilding the array per step).
+        per_block = self._per_block
+        per_block[:] = 0.0
+        row_of = self._row_of
+        for block, seconds in self.solver.kernel_times.items():
+            row = row_of.get(block)
+            if row is not None:
+                per_block[row] = seconds
         compute = np.bincount(
             self.assignment, weights=per_block, minlength=self.n_ranks
         )
@@ -177,9 +207,9 @@ class Simulation:
             step=self._step_index,
             epoch=self._epoch,
             compute_s=compute,
-            comm_s=np.zeros(self.n_ranks),
+            comm_s=self._zero_comm,
             sync_s=sync,
-            n_blocks=np.bincount(self.assignment, minlength=self.n_ranks),
+            n_blocks=self._block_counts,
             load=compute,
         )
 
@@ -196,6 +226,7 @@ class Simulation:
                 np.ones(self.mesh.n_blocks), self.n_ranks
             ).assignment
             self._prev_blocks = list(self.mesh.blocks)
+            self._refresh_layout()
             self.redistributions += 1
 
         for _ in range(n_steps):

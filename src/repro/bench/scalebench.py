@@ -22,6 +22,7 @@ import numpy as np
 
 from ..core.metrics import normalized_makespan
 from ..core.policy import get_policy
+from ..perf.executor import parallel_map
 from .distributions import COST_DISTRIBUTIONS, make_costs
 from .reporting import cplx_label, format_table
 
@@ -60,33 +61,55 @@ class ScalebenchRow:
         return cplx_label(self.x)
 
 
-def run_scalebench(config: ScalebenchConfig) -> List[ScalebenchRow]:
-    """Run the sweep; returns one row per (scale, distribution, X)."""
-    rows: List[ScalebenchRow] = []
-    for n_ranks in config.scales:
-        n_blocks = int(n_ranks * config.blocks_per_rank)
-        for dist in config.distributions:
-            for x in config.x_values:
-                policy = get_policy(f"cplx:{x}")
-                ms = []
-                ts = []
-                for rep in range(config.repeats):
-                    costs = make_costs(
-                        dist, n_blocks, seed=config.seed + 7919 * rep + n_ranks
-                    )
-                    result = policy.place(costs, n_ranks)
-                    ms.append(normalized_makespan(costs, result.assignment, n_ranks))
-                    ts.append(result.elapsed_s)
-                rows.append(
-                    ScalebenchRow(
-                        n_ranks=n_ranks,
-                        distribution=dist,
-                        x=x,
-                        norm_makespan=float(np.mean(ms)),
-                        placement_s=float(np.mean(ts)),
-                    )
-                )
-    return rows
+@dataclasses.dataclass(frozen=True)
+class _ScalebenchCell:
+    """One independent (scale, distribution, X) cell of a scalebench run."""
+
+    config: ScalebenchConfig
+    n_ranks: int
+    distribution: str
+    x: float
+
+
+def _run_scalebench_cell(cell: _ScalebenchCell) -> ScalebenchRow:
+    """Execute one cell; the cost seed is derived from the cell alone."""
+    config = cell.config
+    n_blocks = int(cell.n_ranks * config.blocks_per_rank)
+    policy = get_policy(f"cplx:{cell.x}")
+    ms = []
+    ts = []
+    for rep in range(config.repeats):
+        costs = make_costs(
+            cell.distribution, n_blocks,
+            seed=config.seed + 7919 * rep + cell.n_ranks,
+        )
+        result = policy.place(costs, cell.n_ranks)
+        ms.append(normalized_makespan(costs, result.assignment, cell.n_ranks))
+        ts.append(result.elapsed_s)
+    return ScalebenchRow(
+        n_ranks=cell.n_ranks,
+        distribution=cell.distribution,
+        x=cell.x,
+        norm_makespan=float(np.mean(ms)),
+        placement_s=float(np.mean(ts)),
+    )
+
+
+def run_scalebench(config: ScalebenchConfig, jobs: int = 1) -> List[ScalebenchRow]:
+    """Run the sweep; returns one row per (scale, distribution, X).
+
+    ``jobs`` shards the independent cells across a process pool
+    (``jobs=0`` = one worker per CPU); the row order and every
+    assignment-derived value are identical to the serial run (placement
+    times are host measurements and vary run to run either way).
+    """
+    cells = [
+        _ScalebenchCell(config=config, n_ranks=n_ranks, distribution=dist, x=x)
+        for n_ranks in config.scales
+        for dist in config.distributions
+        for x in config.x_values
+    ]
+    return parallel_map(_run_scalebench_cell, cells, jobs)
 
 
 def makespan_table(rows: Sequence[ScalebenchRow]) -> str:

@@ -19,13 +19,15 @@ from __future__ import annotations
 
 import dataclasses
 import os
+from collections import OrderedDict
 from typing import Dict, List, Sequence, Tuple
 
 
 from ..amr.driver import DriverConfig, RunSummary, run_trajectory
-from ..amr.sedov import SedovConfig, SedovWorkload, scaled_config, table_i_config
+from ..amr.sedov import SedovConfig, SedovEpoch, scaled_config, table_i_config
 from ..core.policy import get_policy
 from ..engine.hooks import PhaseProfilerHook
+from ..perf.executor import parallel_map
 from ..simnet.cluster import Cluster
 from .reporting import cplx_label, format_table
 
@@ -224,46 +226,104 @@ class SedovSweepResult:
         )
 
 
-def run_sedov_sweep(config: SedovSweepConfig) -> SedovSweepResult:
-    """Run the full sweep.  Trajectories are shared across policy arms."""
-    outcomes: List[PolicyOutcome] = []
-    table_i: List[Dict[str, int]] = []
-    for scale in config.scales:
-        sedov_cfg = config.sedov_config(scale)
-        workload = SedovWorkload(sedov_cfg)
-        trajectory = workload.full_trajectory()
-        cluster = Cluster(n_ranks=scale)
+#: Per-process memo of generated trajectories, keyed by SedovConfig.
+#: Bounded so long-lived processes (and pool workers shared by many
+#: cells) don't accumulate every scale ever swept.
+_TRAJECTORY_MEMO: "OrderedDict[SedovConfig, List[SedovEpoch]]" = OrderedDict()
+_TRAJECTORY_MEMO_MAX = 4
 
-        for name in config.policies:
-            policy = get_policy(name)
-            profiler = PhaseProfilerHook() if config.profile else None
-            summary = run_trajectory(
-                policy, trajectory, cluster, config.driver,
-                hooks=[profiler] if profiler else None,
-            )
-            label = (
-                cplx_label(float(name.split(":")[1]))
-                if name.startswith("cplx:")
-                else name
-            )
-            outcomes.append(
-                PolicyOutcome(
-                    scale=scale,
-                    policy_label=label,
-                    summary=summary,
-                    msg_local=summary.msg_local,
-                    msg_remote=summary.msg_remote,
-                    msg_intra=summary.msg_intra_rank,
-                    profile=profiler,
-                )
-            )
-        table_i.append(
-            {
-                "ranks": scale,
-                "t_total": sum(e.n_steps for e in trajectory),
-                "t_lb": max(len(trajectory) - 1, 0),
-                "n_initial": len(trajectory[0].blocks),
-                "n_final": len(trajectory[-1].blocks),
-            }
-        )
+
+def _scale_trajectory(sedov_cfg: SedovConfig) -> List[SedovEpoch]:
+    """The (deterministic) trajectory for one scale, memoized per process.
+
+    In the serial path this preserves the old behavior of generating the
+    trajectory once per scale and sharing it across policy arms; under
+    the process-pool executor each worker generates (or loads from the
+    optional on-disk cache — see :mod:`repro.perf.trajcache`) at most
+    one copy per scale it touches.
+    """
+    trajectory = _TRAJECTORY_MEMO.get(sedov_cfg)
+    if trajectory is None:
+        from ..perf.trajcache import cached_full_trajectory
+
+        trajectory = cached_full_trajectory(sedov_cfg)
+        _TRAJECTORY_MEMO[sedov_cfg] = trajectory
+        while len(_TRAJECTORY_MEMO) > _TRAJECTORY_MEMO_MAX:
+            _TRAJECTORY_MEMO.popitem(last=False)
+    else:
+        _TRAJECTORY_MEMO.move_to_end(sedov_cfg)
+    return trajectory
+
+
+@dataclasses.dataclass(frozen=True)
+class _SweepCell:
+    """One independent (scale, policy) cell of a Sedov sweep."""
+
+    config: SedovSweepConfig
+    scale: int
+    policy: str
+
+
+def _run_sweep_cell(cell: _SweepCell) -> Tuple[PolicyOutcome, Dict[str, int]]:
+    """Execute one cell; deterministic given the cell alone.
+
+    Every stochastic stream is re-seeded from the cell's configs (the
+    workload seed lives in the SedovConfig, the driver seed in
+    DriverConfig), so running cells in any process, in any order,
+    reproduces the serial results bit for bit.
+    """
+    config = cell.config
+    sedov_cfg = config.sedov_config(cell.scale)
+    trajectory = _scale_trajectory(sedov_cfg)
+    cluster = Cluster(n_ranks=cell.scale)
+    policy = get_policy(cell.policy)
+    profiler = PhaseProfilerHook() if config.profile else None
+    summary = run_trajectory(
+        policy, trajectory, cluster, config.driver,
+        hooks=[profiler] if profiler else None,
+    )
+    label = (
+        cplx_label(float(cell.policy.split(":")[1]))
+        if cell.policy.startswith("cplx:")
+        else cell.policy
+    )
+    outcome = PolicyOutcome(
+        scale=cell.scale,
+        policy_label=label,
+        summary=summary,
+        msg_local=summary.msg_local,
+        msg_remote=summary.msg_remote,
+        msg_intra=summary.msg_intra_rank,
+        profile=profiler,
+    )
+    table_entry = {
+        "ranks": cell.scale,
+        "t_total": sum(e.n_steps for e in trajectory),
+        "t_lb": max(len(trajectory) - 1, 0),
+        "n_initial": len(trajectory[0].blocks),
+        "n_final": len(trajectory[-1].blocks),
+    }
+    return outcome, table_entry
+
+
+def run_sedov_sweep(config: SedovSweepConfig, jobs: int = 1) -> SedovSweepResult:
+    """Run the full sweep.  Trajectories are shared across policy arms.
+
+    ``jobs`` shards the independent (scale, policy) cells across a
+    process pool (``jobs=0`` = one worker per CPU); results are merged
+    in grid order and are bit-identical to the serial run.
+    """
+    cells = [
+        _SweepCell(config=config, scale=scale, policy=name)
+        for scale in config.scales
+        for name in config.policies
+    ]
+    results = parallel_map(_run_sweep_cell, cells, jobs)
+    outcomes = [outcome for outcome, _ in results]
+    table_i: List[Dict[str, int]] = []
+    seen_scales: set = set()
+    for cell, (_, table_entry) in zip(cells, results):
+        if cell.scale not in seen_scales:
+            seen_scales.add(cell.scale)
+            table_i.append(table_entry)
     return SedovSweepResult(outcomes=outcomes, table_i=table_i)

@@ -10,12 +10,19 @@ Subcommands mirror the evaluation section:
 * ``resilience`` — three-arm fault/mitigation experiment (checkpoint,
   restart, online eviction)
 * ``policies``   — list registered placement policies
+* ``bench``      — perf-regression harness (``BENCH_core.json``)
+
+The sweep subcommands (``sedov``, ``scalebench``, ``resilience``) take
+``--jobs N`` to shard their independent cells across a process pool
+(``--jobs 0`` = one worker per CPU); results are bit-identical to the
+default serial run.
 
 Examples::
 
-    python -m repro sedov --scales 512 1024 --steps 1500
+    python -m repro sedov --scales 512 1024 --steps 1500 --jobs 4
     python -m repro place --policy cplx:50 --blocks 2048 --ranks 512
     python -m repro scalebench --scales 512 2048 8192
+    python -m repro bench --profile smoke --baseline benchmarks/BENCH_baseline.json
 """
 
 from __future__ import annotations
@@ -37,7 +44,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
+    def add_jobs(sp):
+        sp.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent cells (0 = one per "
+            "CPU; default 1 = serial; results are bit-identical)",
+        )
+
     s = sub.add_parser("sedov", help="Fig. 6 Sedov policy sweep")
+    add_jobs(s)
+    s.add_argument("--traj-cache", metavar="DIR", default=None,
+                   help="on-disk cache directory for generated Sedov "
+                   "trajectories (also via $REPRO_TRAJ_CACHE)")
     s.add_argument("--scales", type=int, nargs="+", default=[512])
     s.add_argument("--steps", type=int, default=1500)
     s.add_argument("--paper-scale", action="store_true",
@@ -59,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--rounds", type=int, default=50)
 
     b = sub.add_parser("scalebench", help="Fig. 7b/7c placement microbenchmark")
+    add_jobs(b)
     b.add_argument("--scales", type=int, nargs="+", default=[512, 2048, 8192])
     b.add_argument("--repeats", type=int, default=3)
 
@@ -77,6 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="three-arm fault/mitigation experiment (healthy vs "
         "unmitigated vs resilient)",
     )
+    add_jobs(r)
     r.add_argument("--ranks", type=int, default=256,
                    help="simulation ranks (multiple of 16)")
     r.add_argument("--steps", type=int, default=400)
@@ -100,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
                    "'loss=0.08,reorder=0.05,retries=2'")
 
     sub.add_parser("policies", help="list registered placement policies")
+
+    bench = sub.add_parser(
+        "bench", help="perf-regression harness (writes BENCH_core.json)"
+    )
+    bench.add_argument("--profile", default="quick",
+                       choices=["smoke", "quick", "full"],
+                       help="benchmark size (default: quick)")
+    bench.add_argument("--output", default="BENCH_core.json", metavar="PATH",
+                       help="where to write the results document")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="committed baseline to gate against")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="allowed relative regression vs the baseline "
+                       "median (default 0.5 = 50%%)")
     return p
 
 
@@ -110,9 +144,14 @@ def _parse_transport(spec: Optional[str]):
 
 
 def _cmd_sedov(args) -> int:
+    import os
+
     from .bench import SedovSweepConfig, run_sedov_sweep
     from .engine.types import DriverConfig
+    from .perf.trajcache import CACHE_ENV
 
+    if args.traj_cache is not None:
+        os.environ[CACHE_ENV] = args.traj_cache
     result = run_sedov_sweep(
         SedovSweepConfig(
             scales=tuple(args.scales),
@@ -121,7 +160,8 @@ def _cmd_sedov(args) -> int:
             paper_scale=args.paper_scale,
             profile=args.profile,
             driver=DriverConfig(transport=_parse_transport(args.transport_faults)),
-        )
+        ),
+        jobs=args.jobs,
     )
     print(result.table_i_text())
     print()
@@ -165,7 +205,8 @@ def _cmd_scalebench(args) -> int:
     from .bench import ScalebenchConfig, makespan_table, overhead_table, run_scalebench
 
     rows = run_scalebench(
-        ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats)
+        ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats),
+        jobs=args.jobs,
     )
     print(makespan_table(rows))
     print()
@@ -234,7 +275,8 @@ def _cmd_resilience(args) -> int:
             checkpoint_interval_epochs=args.checkpoint_interval,
             check_determinism=not args.no_determinism_check,
             profile=args.profile,
-        )
+        ),
+        jobs=args.jobs,
     )
     print(result.report())
     if result.profiles:
@@ -242,6 +284,33 @@ def _cmd_resilience(args) -> int:
             print(f"\n[{arm}]")
             print(profiler.report())
     return 0 if result.deterministic in (True, None) else 1
+
+
+def _cmd_bench(args) -> int:
+    from .perf.bench import (
+        compare_bench,
+        format_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    result = run_bench(profile=args.profile, verbose=True)
+    write_bench(result, args.output)
+    baseline = load_bench(args.baseline) if args.baseline else None
+    print()
+    print(format_bench(result, baseline))
+    print(f"\nwrote {args.output}")
+    if baseline is None:
+        return 0
+    regressions = compare_bench(result, baseline, tolerance=args.tolerance)
+    if regressions:
+        print(f"\nPERF REGRESSIONS (tolerance {args.tolerance:.0%}):")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nno regressions vs {args.baseline} (tolerance {args.tolerance:.0%})")
+    return 0
 
 
 def _cmd_policies(_args) -> int:
@@ -261,6 +330,7 @@ _COMMANDS = {
     "place": _cmd_place,
     "resilience": _cmd_resilience,
     "policies": _cmd_policies,
+    "bench": _cmd_bench,
 }
 
 

@@ -37,6 +37,7 @@ import numpy as np
 from ..amr.block import BlockCostTracker
 from ..amr.redistribution import RedistributionOutcome, RedistributionPlan
 from ..core.policy import PlacementPolicy
+from ..perf.cache import PatternCache
 from ..simnet.cluster import Cluster
 from ..simnet.runtime import BSPModel, ExchangePattern
 from ..simnet.tuning import TuningConfig
@@ -112,6 +113,8 @@ class EngineContext:
     placement_charge: Optional[float] = None
     lb_per_rank: float = 0.0
     pattern: Optional[ExchangePattern] = None
+    #: epoch-pipeline cache (None = caching disabled for this run)
+    pattern_cache: Optional[PatternCache] = None
     sample_count: int = 0                 #: sampled steps this epoch (k)
     step_weight: float = 1.0              #: real steps per sampled step
     epoch_wall: float = 0.0               #: simulated wall of this epoch

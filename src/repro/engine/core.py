@@ -44,6 +44,7 @@ from ..amr.redistribution import (
 )
 from ..core.metrics import message_stats
 from ..core.policy import PlacementPolicy
+from ..perf.cache import maybe_cache
 from ..simnet.cluster import Cluster
 from ..simnet.faults import FaultModel
 from ..simnet.runtime import BSPModel, ExchangePattern
@@ -101,6 +102,7 @@ class EpochEngine:
             tracker=BlockCostTracker(),
             rng=np.random.default_rng(config.seed),
             alive=list(range(cluster.n_nodes)),
+            pattern_cache=maybe_cache(config.pattern_cache_size),
         )
 
     # ------------------------------------------------------------------ #
@@ -190,7 +192,9 @@ class EpochEngine:
             outcome = commit_redistribution(ctx.plan)
             ctx.outcome = outcome
             ctx.placement_max = max(ctx.placement_max, outcome.placement_s)
-            ctx.placement_charge = None
+            # Deterministic lb charge when configured; hooks (e.g. the
+            # resilience guard) may still override it.
+            ctx.placement_charge = config.placement_charge_s
             if self._dispatch("after_redistribute", epoch):
                 continue
             outcome = ctx.outcome
@@ -207,11 +211,22 @@ class EpochEngine:
             ctx.lb_per_rank = lb_per_rank
 
             # --- simulate the epoch's steps -----------------------------
-            ctx.pattern = ExchangePattern.from_mesh(
-                epoch.graph, assignment, epoch.base_costs, ctx.cluster,
-                config.fabric,
-            )
-            ms = message_stats(epoch.graph, assignment, ctx.cluster.ranks_per_node)
+            # The epoch-pipeline cache reuses the pattern structure and
+            # message stats whenever (graph, assignment, cluster, fabric)
+            # is unchanged; hits are bit-identical to recomputation.
+            if ctx.pattern_cache is not None:
+                ctx.pattern, ms = ctx.pattern_cache.lookup(
+                    epoch.graph, assignment, epoch.base_costs, ctx.cluster,
+                    config.fabric,
+                )
+            else:
+                ctx.pattern = ExchangePattern.from_mesh(
+                    epoch.graph, assignment, epoch.base_costs, ctx.cluster,
+                    config.fabric,
+                )
+                ms = message_stats(
+                    epoch.graph, assignment, ctx.cluster.ranks_per_node
+                )
             ctx.msg_acc += (
                 np.array([ms.intra_rank, ms.local, ms.remote]) * epoch.n_steps
             )
@@ -278,4 +293,13 @@ class EpochEngine:
             n_rollbacks=ctx.n_rollbacks,
             n_degraded_epochs=ctx.n_degraded_epochs,
             transport_stall_s=ctx.transport_stall_s,
+            pattern_cache_hits=(
+                ctx.pattern_cache.stats.hits if ctx.pattern_cache else 0
+            ),
+            pattern_cache_misses=(
+                ctx.pattern_cache.stats.misses if ctx.pattern_cache else 0
+            ),
+            pattern_cache_evictions=(
+                ctx.pattern_cache.stats.evictions if ctx.pattern_cache else 0
+            ),
         )

@@ -45,6 +45,16 @@ class DriverConfig:
     #: feed measured costs to the policy; False reproduces the framework
     #: default of cost=1 for every block (the baseline's world view)
     use_measured_costs: bool = True
+    #: entries in the per-run ExchangePattern/message-stats cache (the
+    #: epoch-pipeline cache); 0 disables caching.  Hits are bit-identical
+    #: to recomputation, so this only changes host time, never results.
+    pattern_cache_size: int = 8
+    #: deterministic modeled placement time charged to the lb phase in
+    #: place of the measured host wall-clock (same contract as
+    #: ResilienceConfig.placement_charge_s).  None = charge the measured
+    #: time, the paper-faithful default.  Set it to make two same-seed
+    #: runs — serial or parallel — bit-identical in wall_s.
+    placement_charge_s: "float | None" = None
     seed: int = 0
 
 
@@ -84,6 +94,10 @@ class RunSummary:
     n_rollbacks: int = 0            #: redistributions aborted mid-migration
     n_degraded_epochs: int = 0      #: epochs run on a stale placement
     transport_stall_s: float = 0.0  #: simulated seconds lost to retransmits
+    #: epoch-pipeline cache counters (zero when the cache is disabled)
+    pattern_cache_hits: int = 0
+    pattern_cache_misses: int = 0
+    pattern_cache_evictions: int = 0
 
     @property
     def remote_fraction(self) -> float:

@@ -144,12 +144,24 @@ def morton_key(idx: BlockIndex, max_level: int) -> Tuple[int, int]:
 
 
 def sfc_sort_blocks(blocks: Iterable[BlockIndex]) -> List[BlockIndex]:
-    """Sort blocks along the Z-order curve (ascending block-ID order)."""
+    """Sort blocks along the Z-order curve (ascending block-ID order).
+
+    One batched :func:`morton_encode` over all blocks plus a single
+    ``np.lexsort`` — the same ``(code, level)`` total order as sorting
+    by :func:`morton_key` per block, without the per-block Python
+    encode/tuple overhead.  Ordering ties (identical blocks) keep their
+    input order, matching the stable ``sorted`` this replaces.
+    """
     blocks = list(blocks)
     if not blocks:
         return []
-    max_level = max(b.level for b in blocks)
-    return sorted(blocks, key=lambda b: morton_key(b, max_level))
+    levels = np.asarray([b.level for b in blocks], dtype=np.int64)
+    coords = np.asarray([b.coords for b in blocks], dtype=np.int64)
+    max_level = int(levels.max())
+    scaled = coords << (max_level - levels)[:, None]
+    codes = morton_encode(scaled)
+    order = np.lexsort((levels, codes))
+    return [blocks[i] for i in order]
 
 
 def contiguous_ranges(assignment: Sequence[int]) -> bool:

@@ -1,0 +1,31 @@
+"""Performance subsystem: sweep parallelism, epoch caching, benchmarking.
+
+Three layers, each usable on its own:
+
+* :mod:`repro.perf.executor` — a process-pool sweep executor with a
+  deterministic ordered merge, used by ``run_sedov_sweep``,
+  ``run_scalebench`` and the resilience experiment (``--jobs N``);
+* :mod:`repro.perf.cache` — :class:`PatternCache`, the epoch-pipeline
+  cache reusing :class:`~repro.simnet.runtime.ExchangePattern`
+  structure (and message statistics) across epochs whose
+  (neighbor graph, assignment, cluster, fabric) key is unchanged;
+* :mod:`repro.perf.trajcache` — an optional content-keyed on-disk cache
+  for deterministic :class:`~repro.amr.sedov.SedovEpoch` trajectories;
+* :mod:`repro.perf.bench` — the ``repro bench`` perf-regression harness
+  writing/gating ``BENCH_core.json`` (imported lazily; it pulls the
+  full experiment stack).
+
+This package sits *below* the engine in the import graph: only the
+light modules (``cache``, ``executor``) are imported here so that
+``repro.engine`` can depend on :class:`PatternCache` without cycles.
+"""
+
+from .cache import PatternCache, PatternCacheStats
+from .executor import effective_jobs, parallel_map
+
+__all__ = [
+    "PatternCache",
+    "PatternCacheStats",
+    "effective_jobs",
+    "parallel_map",
+]

@@ -1,0 +1,338 @@
+"""The ``repro bench`` perf-regression harness.
+
+Times the hot paths the repo's performance claims rest on —
+
+* **policy kernels**: LPT, restricted CDP, chunked CDP, and CPLX-50
+  placement at several problem sizes (the Fig. 7c axis);
+* **mesh ops**: SFC block sort and vectorized neighbor discovery on a
+  randomly refined octree;
+* **epoch loop**: the end-to-end :class:`~repro.engine.EpochEngine`
+  over a reduced Sedov trajectory, with the epoch-pipeline cache off
+  and on (the cached-vs-uncached headline);
+* **sweep executor**: a small Sedov sweep serial vs ``--jobs 4`` (the
+  serial-vs-parallel headline; equal on a single-core host);
+
+— and writes ``BENCH_core.json``: per-metric medians plus environment
+metadata, with derived speedup ratios.  :func:`compare_bench` gates a
+fresh run against a committed baseline with a configurable relative
+tolerance; the CI perf-smoke job fails when any tracked metric
+regresses beyond it.
+
+Medians over several repeats (after a warmup) keep single-shot noise
+out of the gate; wall-clock metrics are still machine-dependent, so
+cross-machine comparisons need a generous tolerance while the derived
+ratios travel well.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "PROFILES",
+    "run_bench",
+    "write_bench",
+    "load_bench",
+    "compare_bench",
+    "format_bench",
+]
+
+#: Size knobs per profile.  ``smoke`` is for CI smoke jobs and tests
+#: (seconds); ``quick`` is the default local profile (a couple of
+#: minutes); ``full`` approaches paper-scale placement sizes.
+PROFILES: Dict[str, Dict] = {
+    "smoke": {
+        "policy_ranks": (256,),
+        "policy_repeats": 3,
+        "mesh_ranks": 128,
+        "mesh_blocks_per_rank": 3.0,
+        "mesh_repeats": 3,
+        "epoch_ranks": 32,
+        "epoch_steps": 120,
+        "epoch_repeats": 2,
+        "sweep": None,
+    },
+    "quick": {
+        "policy_ranks": (2048, 8192),
+        "policy_repeats": 5,
+        "mesh_ranks": 512,
+        "mesh_blocks_per_rank": 4.0,
+        "mesh_repeats": 5,
+        "epoch_ranks": 64,
+        "epoch_steps": 400,
+        "epoch_repeats": 3,
+        "sweep": {
+            "scales": (512,),
+            "steps": 120,
+            "policies": ("baseline", "cplx:50"),
+            "jobs": 4,
+        },
+    },
+    "full": {
+        "policy_ranks": (8192, 32768),
+        "policy_repeats": 7,
+        "mesh_ranks": 1024,
+        "mesh_blocks_per_rank": 4.0,
+        "mesh_repeats": 7,
+        "epoch_ranks": 128,
+        "epoch_steps": 1000,
+        "epoch_repeats": 3,
+        "sweep": {
+            "scales": (512, 1024),
+            "steps": 400,
+            "policies": ("baseline", "cplx:0", "cplx:50", "cplx:100"),
+            "jobs": 4,
+        },
+    },
+}
+
+#: Policies timed by the policy-kernel section (registry names).
+POLICY_ARMS = ("lpt", "cdp", "cdp-chunked", "cplx:50")
+
+BLOCKS_PER_RANK = 2.25      #: scalebench's blocks-per-rank ratio
+
+
+def _time_case(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict:
+    """Median-of-``repeats`` host seconds for ``fn`` (after warmup runs)."""
+    for _ in range(warmup):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "mean_s": statistics.fmean(times),
+        "repeats": repeats,
+    }
+
+
+def _environment(profile: str) -> Dict:
+    from .. import __version__
+
+    return {
+        "schema": 1,
+        "profile": profile,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# sections
+# ---------------------------------------------------------------------- #
+
+def _bench_policies(params: Dict, metrics: Dict, log: Callable[[str], None]) -> None:
+    from ..bench.distributions import make_costs
+    from ..core.policy import get_policy
+
+    for n_ranks in params["policy_ranks"]:
+        n_blocks = int(n_ranks * BLOCKS_PER_RANK)
+        costs = make_costs("exponential", n_blocks, seed=1234 + n_ranks)
+        for name in POLICY_ARMS:
+            policy = get_policy(name)
+            key = name.replace(":", "")
+            metric = f"policy.{key}.r{n_ranks}"
+            metrics[metric] = _time_case(
+                lambda: policy.place(costs, n_ranks), params["policy_repeats"]
+            )
+            log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
+
+
+def _bench_mesh(params: Dict, metrics: Dict, log: Callable[[str], None]) -> None:
+    from ..bench.commbench import random_refined_mesh
+    from ..mesh.fast_neighbors import build_neighbor_graph_auto
+    from ..mesh.sfc import sfc_sort_blocks
+
+    rng = np.random.default_rng(7)
+    mesh = random_refined_mesh(
+        params["mesh_ranks"], params["mesh_blocks_per_rank"], rng
+    )
+    blocks = list(mesh.blocks)
+    shuffled = [blocks[i] for i in rng.permutation(len(blocks))]
+    n = len(blocks)
+
+    metric = f"mesh.sfc_sort.n{n}"
+    metrics[metric] = _time_case(
+        lambda: sfc_sort_blocks(shuffled), params["mesh_repeats"]
+    )
+    log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
+
+    metric = f"mesh.neighbor_graph.n{n}"
+    metrics[metric] = _time_case(
+        lambda: build_neighbor_graph_auto(mesh.forest), params["mesh_repeats"]
+    )
+    log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
+
+
+def _bench_epoch_loop(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    from ..amr.driver import run_trajectory
+    from ..core.policy import get_policy
+    from ..engine.types import DriverConfig
+    from ..resilience.experiment import small_workload
+    from ..simnet.cluster import Cluster
+
+    epochs = small_workload(params["epoch_ranks"], steps=params["epoch_steps"])
+    cluster = Cluster(n_ranks=params["epoch_ranks"])
+    # The baseline arm re-places identical unit costs every epoch, so its
+    # (graph, assignment) key repeats on every non-refining epoch — the
+    # workload pattern the epoch-pipeline cache is built for.
+    base = dict(use_measured_costs=False, placement_charge_s=0.005)
+    uncached_cfg = DriverConfig(pattern_cache_size=0, **base)
+    cached_cfg = DriverConfig(pattern_cache_size=8, **base)
+
+    def run(config):
+        return run_trajectory(get_policy("baseline"), epochs, cluster, config)
+
+    metrics["epoch.loop_uncached"] = _time_case(
+        lambda: run(uncached_cfg), params["epoch_repeats"]
+    )
+    metrics["epoch.loop_cached"] = _time_case(
+        lambda: run(cached_cfg), params["epoch_repeats"]
+    )
+    summary = run(cached_cfg)
+    hits, misses = summary.pattern_cache_hits, summary.pattern_cache_misses
+    derived["epoch.cache_hit_rate"] = hits / max(hits + misses, 1)
+    derived["epoch.cache_speedup"] = (
+        metrics["epoch.loop_uncached"]["median_s"]
+        / metrics["epoch.loop_cached"]["median_s"]
+    )
+    log(
+        f"epoch loop: uncached {metrics['epoch.loop_uncached']['median_s']:.3f} s, "
+        f"cached {metrics['epoch.loop_cached']['median_s']:.3f} s "
+        f"({derived['epoch.cache_speedup']:.2f}x, "
+        f"hit rate {derived['epoch.cache_hit_rate']:.0%})"
+    )
+
+
+def _bench_sweep(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    sweep = params["sweep"]
+    if sweep is None:
+        return
+    from ..bench.sedov_experiment import SedovSweepConfig, run_sedov_sweep
+    from ..engine.types import DriverConfig
+
+    config = SedovSweepConfig(
+        scales=tuple(sweep["scales"]),
+        policies=tuple(sweep["policies"]),
+        steps=sweep["steps"],
+        driver=DriverConfig(placement_charge_s=0.005),
+    )
+    jobs = sweep["jobs"]
+    # One warmup run populates the per-process trajectory memo (which
+    # forked workers inherit), so both timings measure the sweep itself
+    # rather than one-time trajectory generation.
+    serial = _time_case(lambda: run_sedov_sweep(config, jobs=1), repeats=1)
+    sharded = _time_case(lambda: run_sedov_sweep(config, jobs=jobs), repeats=1)
+    metrics["sweep.sedov_serial"] = serial
+    metrics[f"sweep.sedov_jobs{jobs}"] = sharded
+    derived["sweep.parallel_speedup"] = serial["median_s"] / sharded["median_s"]
+    log(
+        f"sedov sweep: serial {serial['median_s']:.2f} s, "
+        f"jobs={jobs} {sharded['median_s']:.2f} s "
+        f"({derived['sweep.parallel_speedup']:.2f}x on {os.cpu_count()} CPUs)"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# entry points
+# ---------------------------------------------------------------------- #
+
+def run_bench(
+    profile: str = "quick", verbose: bool = False
+) -> Dict:
+    """Run the harness; returns the ``BENCH_core.json`` document."""
+    if profile not in PROFILES:
+        raise KeyError(f"unknown profile {profile!r}; have {sorted(PROFILES)}")
+    params = PROFILES[profile]
+    log: Callable[[str], None] = print if verbose else (lambda _msg: None)
+    metrics: Dict[str, Dict] = {}
+    derived: Dict[str, float] = {}
+    _bench_policies(params, metrics, log)
+    _bench_mesh(params, metrics, log)
+    _bench_epoch_loop(params, metrics, derived, log)
+    _bench_sweep(params, metrics, derived, log)
+    return {"meta": _environment(profile), "metrics": metrics, "derived": derived}
+
+
+def write_bench(result: Dict, path: "str | os.PathLike") -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def load_bench(path: "str | os.PathLike") -> Dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_bench(
+    current: Dict, baseline: Dict, tolerance: float = 0.5
+) -> List[str]:
+    """Regressions of ``current`` vs ``baseline``: list of messages.
+
+    A wall-clock metric regresses when its median exceeds the baseline
+    median by more than ``tolerance`` (relative).  Metrics present in
+    only one document are reported informationally by :func:`format_bench`
+    but never gate.  An empty list means the gate passes.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    regressions: List[str] = []
+    base_metrics = baseline.get("metrics", {})
+    for name, cur in sorted(current.get("metrics", {}).items()):
+        base = base_metrics.get(name)
+        if base is None:
+            continue
+        cur_med, base_med = cur["median_s"], base["median_s"]
+        if base_med <= 0:
+            continue
+        ratio = cur_med / base_med
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                f"{name}: {cur_med * 1e3:.2f} ms vs baseline "
+                f"{base_med * 1e3:.2f} ms ({ratio:.2f}x > "
+                f"allowed {1.0 + tolerance:.2f}x)"
+            )
+    return regressions
+
+
+def format_bench(result: Dict, baseline: Optional[Dict] = None) -> str:
+    """Human-readable table of one bench document (vs optional baseline)."""
+    lines = []
+    meta = result.get("meta", {})
+    lines.append(
+        f"profile={meta.get('profile')}  repro={meta.get('repro_version')}  "
+        f"python={meta.get('python')}  cpus={meta.get('cpu_count')}"
+    )
+    base_metrics = (baseline or {}).get("metrics", {})
+    width = max((len(n) for n in result.get("metrics", {})), default=10)
+    for name, m in sorted(result.get("metrics", {}).items()):
+        row = f"{name:<{width}}  {m['median_s'] * 1e3:10.2f} ms"
+        base = base_metrics.get(name)
+        if base and base.get("median_s", 0) > 0:
+            row += f"   ({m['median_s'] / base['median_s']:.2f}x vs baseline)"
+        lines.append(row)
+    for name, value in sorted(result.get("derived", {}).items()):
+        lines.append(f"{name:<{width}}  {value:10.3f}")
+    return "\n".join(lines)

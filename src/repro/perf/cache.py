@@ -1,0 +1,146 @@
+"""Epoch-pipeline caching: reuse exchange structure across epochs.
+
+Refinement only fires on trigger epochs, so consecutive epochs usually
+share the *same* :class:`~repro.mesh.neighbors.NeighborGraph` object
+(:class:`~repro.mesh.mesh.AmrMesh` caches it per generation).  When the
+placement also carries over — the baseline arm every epoch, any arm on
+a trigger-skip epoch — the expensive parts of
+:meth:`ExchangePattern.from_mesh` (edge gather, rank-pair collapse,
+latency classification) and of :func:`message_stats` are recomputed to
+bit-identical values.  :class:`PatternCache` memoizes both.
+
+Correctness contract (pinned by the cache tests):
+
+* a hit returns arrays **bit-identical** to an uncached recomputation —
+  only the per-rank ``loads`` vector depends on this epoch's costs, so
+  it is recomputed on every lookup with the exact ``np.bincount``
+  expression ``from_mesh`` uses;
+* the key is ``(graph, assignment bytes, cluster, fabric)``; keys hold
+  strong references to the graph and cluster and compare them by
+  identity, so refinement (new graph), node eviction (new cluster) and
+  any assignment change are all natural invalidations;
+* the cache is LRU-bounded; evictions are counted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.metrics import MessageStats, message_stats
+from ..simnet.cluster import Cluster
+from ..simnet.machine import FabricSpec
+from ..simnet.runtime import ExchangePattern
+
+__all__ = ["PatternCache", "PatternCacheStats"]
+
+
+@dataclasses.dataclass
+class PatternCacheStats:
+    """Hit/miss/eviction counters of one :class:`PatternCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclasses.dataclass
+class _Entry:
+    """One cached (graph, assignment) structure.
+
+    Strong references to ``graph`` and ``cluster`` keep their ids from
+    being recycled while the entry lives, making the id-based key safe.
+    """
+
+    graph: object
+    cluster: Cluster
+    pattern: ExchangePattern       #: loads field is stale; recomputed per hit
+    stats: MessageStats
+
+
+class PatternCache:
+    """LRU cache of :class:`ExchangePattern` structure + message stats.
+
+    Parameters
+    ----------
+    maxsize:
+        Number of (graph, assignment) entries kept.  The engine's
+        default of a handful covers the common case — one entry per
+        live (mesh generation, stable placement) pair.
+    """
+
+    def __init__(self, maxsize: int = 8) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+        self.stats = PatternCacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _key(
+        graph, assignment: np.ndarray, cluster: Cluster, fabric: FabricSpec
+    ) -> Tuple:
+        return (id(graph), assignment.tobytes(), id(cluster), fabric)
+
+    def lookup(
+        self,
+        graph,
+        assignment: np.ndarray,
+        costs: np.ndarray,
+        cluster: Cluster,
+        fabric: FabricSpec,
+    ) -> Tuple[ExchangePattern, MessageStats]:
+        """Return ``(pattern, message_stats)`` for this epoch.
+
+        Bit-identical to calling :meth:`ExchangePattern.from_mesh` and
+        :func:`message_stats` directly, whether it hits or misses.
+        """
+        assignment = np.asarray(assignment, dtype=np.int64)
+        key = self._key(graph, assignment, cluster, fabric)
+        entry = self._entries.get(key)
+        if entry is not None and entry.graph is graph and entry.cluster is cluster:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            # Only loads depends on this epoch's costs; recompute it with
+            # the exact expression from_mesh uses so hits are bit-identical.
+            loads = np.asarray(
+                np.bincount(assignment, weights=costs, minlength=cluster.n_ranks),
+                dtype=np.float64,
+            )
+            return dataclasses.replace(entry.pattern, loads=loads), entry.stats
+
+        self.stats.misses += 1
+        pattern = ExchangePattern.from_mesh(graph, assignment, costs, cluster, fabric)
+        ms = message_stats(graph, assignment, cluster.ranks_per_node)
+        self._entries[key] = _Entry(
+            graph=graph, cluster=cluster, pattern=pattern, stats=ms
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return pattern, ms
+
+
+def maybe_cache(size: int) -> Optional[PatternCache]:
+    """A :class:`PatternCache` of ``size`` entries, or ``None`` if ``size <= 0``."""
+    return PatternCache(size) if size > 0 else None

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from ..amr.driver import DriverConfig, RunSummary
 from ..amr.sedov import SedovConfig, SedovEpoch, SedovWorkload
 from ..engine.hooks import PhaseProfilerHook
+from ..perf.executor import parallel_map
 from ..simnet.cluster import Cluster
 from ..simnet.faults import (
     NO_TRANSPORT_FAULTS,
@@ -180,50 +181,90 @@ class ResilienceExperimentResult:
         return "\n".join(out)
 
 
-def run_resilience_experiment(
-    config: ResilienceExperimentConfig = ResilienceExperimentConfig(),
-) -> ResilienceExperimentResult:
-    """Run the three arms (plus an optional determinism re-run)."""
-    epochs = small_workload(config.n_ranks, config.steps, config.workload_seed)
+#: Per-process memo of the last generated workload (the four arms of one
+#: experiment share a trajectory; a worker process serving several arms
+#: of the same experiment generates it once, exactly like the serial path).
+_WORKLOAD_MEMO: Dict[tuple, List[SedovEpoch]] = {}
+
+
+def _experiment_workload(n_ranks: int, steps: int, seed: int) -> List[SedovEpoch]:
+    key = (n_ranks, steps, seed)
+    if key not in _WORKLOAD_MEMO:
+        _WORKLOAD_MEMO.clear()          # keep at most one workload alive
+        _WORKLOAD_MEMO[key] = small_workload(n_ranks, steps, seed)
+    return _WORKLOAD_MEMO[key]
+
+
+def _run_experiment_arm(args) -> tuple:
+    """One experiment arm ('healthy'/'unmitigated'/'resilient'/'recheck').
+
+    Rebuilds the (deterministic) workload, cluster, and configs from the
+    experiment config alone, so arms can run in any process and still
+    reproduce the serial results bit for bit.  Returns
+    ``(summary, profiler_or_None)``.
+    """
+    config, arm = args
+    epochs = _experiment_workload(config.n_ranks, config.steps, config.workload_seed)
     cluster = Cluster(n_ranks=config.n_ranks)
     driver_cfg = DriverConfig(seed=config.seed)
-    #: faulty arms additionally run on the unreliable fabric
     faulty_cfg = DriverConfig(seed=config.seed, transport=config.transport)
-    timeline = config.timeline()
     resilience = ResilienceConfig(
         checkpoint_interval_epochs=config.checkpoint_interval_epochs
     )
+    profiler = (
+        PhaseProfilerHook() if config.profile and arm != "recheck" else None
+    )
+    hooks = [profiler] if profiler else None
+    if arm == "healthy":
+        summary = run_resilient_trajectory(
+            config.policy, epochs, cluster, driver_cfg,
+            resilience=resilience, timeline=FaultTimeline.static(),
+            hooks=hooks,
+        )
+    elif arm == "unmitigated":
+        summary = run_resilient_trajectory(
+            config.policy, epochs, cluster, faulty_cfg,
+            resilience=UNMITIGATED, timeline=config.timeline(),
+            hooks=hooks,
+        )
+    else:                               # 'resilient' and its 'recheck' twin
+        summary = run_resilient_trajectory(
+            config.policy, epochs, cluster, faulty_cfg,
+            resilience=resilience, timeline=config.timeline(),
+            hooks=hooks,
+        )
+    return summary, profiler
 
+
+def run_resilience_experiment(
+    config: ResilienceExperimentConfig = ResilienceExperimentConfig(),
+    jobs: int = 1,
+) -> ResilienceExperimentResult:
+    """Run the three arms (plus an optional determinism re-run).
+
+    ``jobs`` shards the independent arms across a process pool
+    (``jobs=0`` = one worker per CPU); every arm re-derives its
+    stochastic streams from the experiment config, so the parallel
+    results are bit-identical to the serial ones.
+    """
+    arms = ["healthy", "unmitigated", "resilient"]
+    if config.check_determinism:
+        arms.append("recheck")
+    results = parallel_map(_run_experiment_arm, [(config, a) for a in arms], jobs)
+    summaries = {arm: summary for arm, (summary, _) in zip(arms, results)}
     profiles: Optional[Dict[str, PhaseProfilerHook]] = (
-        {arm: PhaseProfilerHook() for arm in ("healthy", "unmitigated", "resilient")}
+        {
+            arm: profiler
+            for arm, (_, profiler) in zip(arms, results)
+            if profiler is not None
+        }
         if config.profile
         else None
     )
 
-    def arm_hooks(arm: str):
-        return [profiles[arm]] if profiles else None
-
-    healthy = run_resilient_trajectory(
-        config.policy, epochs, cluster, driver_cfg,
-        resilience=resilience, timeline=FaultTimeline.static(),
-        hooks=arm_hooks("healthy"),
-    )
-    unmitigated = run_resilient_trajectory(
-        config.policy, epochs, cluster, faulty_cfg,
-        resilience=UNMITIGATED, timeline=timeline,
-        hooks=arm_hooks("unmitigated"),
-    )
-    resilient = run_resilient_trajectory(
-        config.policy, epochs, cluster, faulty_cfg,
-        resilience=resilience, timeline=timeline,
-        hooks=arm_hooks("resilient"),
-    )
     deterministic: Optional[bool] = None
     if config.check_determinism:
-        rerun = run_resilient_trajectory(
-            config.policy, epochs, cluster, faulty_cfg,
-            resilience=resilience, timeline=timeline,
-        )
+        resilient, rerun = summaries["resilient"], summaries["recheck"]
         deterministic = (
             rerun.wall_s == resilient.wall_s
             and rerun.phase_rank_seconds == resilient.phase_rank_seconds
@@ -234,9 +275,9 @@ def run_resilience_experiment(
             and rerun.n_degraded_epochs == resilient.n_degraded_epochs
         )
     return ResilienceExperimentResult(
-        healthy=healthy,
-        unmitigated=unmitigated,
-        resilient=resilient,
+        healthy=summaries["healthy"],
+        unmitigated=summaries["unmitigated"],
+        resilient=summaries["resilient"],
         deterministic=deterministic,
         profiles=profiles,
     )

@@ -88,9 +88,15 @@ def _to_golden(res: ResilienceConfig) -> GoldenResilienceConfig:
 
 
 def assert_bit_identical(a, b):
-    """Every RunSummary field and every telemetry table, bit for bit."""
+    """Every RunSummary field and every telemetry table, bit for bit.
+
+    The ``pattern_cache_*`` counters are host-side cache bookkeeping
+    added after the golden drivers were frozen (the golden loop has no
+    cache, so it always reports 0); every *simulated* quantity is still
+    compared bit for bit.
+    """
     for f in dataclasses.fields(type(a)):
-        if f.name == "collector":
+        if f.name == "collector" or f.name.startswith("pattern_cache_"):
             continue
         va, vb = getattr(a, f.name), getattr(b, f.name)
         assert va == vb, f"RunSummary.{f.name}: {va!r} != {vb!r}"

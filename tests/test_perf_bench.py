@@ -1,0 +1,107 @@
+"""The perf-regression harness: run, persist, gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.bench import (
+    PROFILES,
+    compare_bench,
+    format_bench,
+    load_bench,
+    run_bench,
+    write_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_bench(profile="smoke")
+
+
+class TestRunBench:
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            run_bench(profile="nope")
+
+    def test_document_shape(self, smoke_result):
+        meta = smoke_result["meta"]
+        assert meta["profile"] == "smoke"
+        assert meta["python"] and meta["cpu_count"] >= 1
+        metrics = smoke_result["metrics"]
+        assert any(n.startswith("policy.") for n in metrics)
+        assert any(n.startswith("mesh.") for n in metrics)
+        assert {"epoch.loop_uncached", "epoch.loop_cached"} <= set(metrics)
+        for m in metrics.values():
+            assert m["median_s"] > 0 and m["repeats"] >= 1
+            assert m["min_s"] <= m["median_s"]
+        derived = smoke_result["derived"]
+        assert 0.0 <= derived["epoch.cache_hit_rate"] <= 1.0
+        assert derived["epoch.cache_speedup"] > 0
+
+    def test_profiles_cover_sweep_only_beyond_smoke(self):
+        assert PROFILES["smoke"]["sweep"] is None
+        assert PROFILES["quick"]["sweep"] is not None
+
+    def test_roundtrip_and_format(self, smoke_result, tmp_path):
+        path = tmp_path / "BENCH_core.json"
+        write_bench(smoke_result, path)
+        loaded = load_bench(path)
+        assert loaded == json.loads(json.dumps(smoke_result))
+        text = format_bench(loaded, baseline=loaded)
+        assert "profile=smoke" in text and "1.00x vs baseline" in text
+
+
+class TestCompareBench:
+    def test_self_compare_passes(self, smoke_result):
+        assert compare_bench(smoke_result, smoke_result, tolerance=0.0) == []
+
+    def test_detects_regression(self, smoke_result):
+        inflated = copy.deepcopy(smoke_result)
+        name = next(iter(inflated["metrics"]))
+        baseline = copy.deepcopy(smoke_result)
+        baseline["metrics"][name]["median_s"] /= 10.0
+        regressions = compare_bench(inflated, baseline, tolerance=0.5)
+        assert len(regressions) == 1 and name in regressions[0]
+
+    def test_within_tolerance_passes(self, smoke_result):
+        baseline = copy.deepcopy(smoke_result)
+        for m in baseline["metrics"].values():
+            m["median_s"] /= 1.2
+        assert compare_bench(smoke_result, baseline, tolerance=0.5) == []
+        assert compare_bench(smoke_result, baseline, tolerance=0.01)
+
+    def test_unknown_metrics_do_not_gate(self, smoke_result):
+        baseline = {"metrics": {"ghost.metric": {"median_s": 1e-9}}}
+        assert compare_bench(smoke_result, baseline, tolerance=0.0) == []
+
+    def test_negative_tolerance_rejected(self, smoke_result):
+        with pytest.raises(ValueError):
+            compare_bench(smoke_result, smoke_result, tolerance=-0.1)
+
+
+class TestCliBench:
+    def test_smoke_run_writes_json_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_core.json"
+        assert main(["bench", "--profile", "smoke", "--output", str(out)]) == 0
+        doc = load_bench(out)
+        assert doc["meta"]["profile"] == "smoke"
+        # Gating against itself with zero tolerance passes ...
+        assert main([
+            "bench", "--profile", "smoke", "--output", str(out),
+            "--baseline", str(out), "--tolerance", "1.0",
+        ]) == 0
+        # ... and an impossible baseline fails with exit code 1.
+        doc["metrics"] = {
+            k: {**v, "median_s": v["median_s"] / 1e6}
+            for k, v in doc["metrics"].items()
+        }
+        tight = tmp_path / "tight.json"
+        write_bench(doc, tight)
+        assert main([
+            "bench", "--profile", "smoke", "--output", str(out),
+            "--baseline", str(tight), "--tolerance", "0.5",
+        ]) == 1
+        assert "PERF REGRESSIONS" in capsys.readouterr().out
