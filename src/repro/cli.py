@@ -11,6 +11,8 @@ Subcommands mirror the evaluation section:
   restart, online eviction)
 * ``policies``   — list registered placement policies
 * ``bench``      — perf-regression harness (``BENCH_core.json``)
+* ``query``      — SQL over an on-disk telemetry dataset (``--explain``
+  shows the optimized plan and which partitions pruning skipped)
 
 The sweep subcommands (``sedov``, ``scalebench``, ``resilience``) take
 ``--jobs N`` to shard their independent cells across a process pool
@@ -23,6 +25,8 @@ Examples::
     python -m repro place --policy cplx:50 --blocks 2048 --ranks 512
     python -m repro scalebench --scales 512 2048 8192
     python -m repro bench --profile smoke --baseline benchmarks/BENCH_baseline.json
+    python -m repro query runs/telemetry \\
+        "SELECT rank, mean(comm_s) WHERE step >= 900 GROUP BY rank" --explain
 """
 
 from __future__ import annotations
@@ -134,6 +138,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.5,
                        help="allowed relative regression vs the baseline "
                        "median (default 0.5 = 50%%)")
+
+    q = sub.add_parser(
+        "query",
+        help="run SQL over an on-disk telemetry dataset "
+        "(partition pruning + column-selective reads)",
+    )
+    q.add_argument("dataset", metavar="DIR",
+                   help="telemetry dataset directory (a TelemetryDataset, "
+                   "e.g. written by TelemetrySpoolHook)")
+    q.add_argument("statement", metavar="SQL",
+                   help='e.g. "SELECT rank, mean(comm_s) WHERE step >= 900 '
+                   'GROUP BY rank ORDER BY mean_comm_s DESC LIMIT 10"')
+    q.add_argument("--explain", action="store_true",
+                   help="print the optimized plan (with partitions "
+                   "scanned/pruned) instead of executing")
+    q.add_argument("--max-rows", type=int, default=40, metavar="N",
+                   help="row budget for printed results (default 40)")
     return p
 
 
@@ -313,6 +334,29 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    from .telemetry.dataset import TelemetryDataset
+    from .telemetry.query import sql_query
+
+    try:
+        ds = TelemetryDataset.open(args.dataset)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        q = sql_query(ds, args.statement)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.explain:
+        print(q.explain())
+        return 0
+    result = q.run()
+    print(result.pretty(max_rows=args.max_rows))
+    print(f"({result.n_rows} rows)")
+    return 0
+
+
 def _cmd_policies(_args) -> int:
     from .core import available_policies
 
@@ -331,6 +375,7 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "policies": _cmd_policies,
     "bench": _cmd_bench,
+    "query": _cmd_query,
 }
 
 

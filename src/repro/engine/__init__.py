@@ -21,6 +21,7 @@ from .hooks import (
     PassiveMonitorHook,
     PhaseProfilerHook,
     TelemetryHook,
+    TelemetrySpoolHook,
 )
 from .transport import (
     STALE_PLACEMENT_KIND,
@@ -37,6 +38,7 @@ __all__ = [
     "RunSummary",
     "EpochHook",
     "TelemetryHook",
+    "TelemetrySpoolHook",
     "PassiveMonitorHook",
     "PhaseProfilerHook",
     "TransportHook",

@@ -24,17 +24,20 @@ semantics.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from ..telemetry.columnar import ColumnTable
+from ..telemetry.dataset import TelemetryDataset
 from .context import EngineContext
 from .types import RunSummary
 
 __all__ = [
     "EpochHook",
     "TelemetryHook",
+    "TelemetrySpoolHook",
     "PassiveMonitorHook",
     "PhaseProfilerHook",
     "PROFILE_PHASES",
@@ -120,6 +123,47 @@ class TelemetryHook(EpochHook):
             migration_blocks=outcome.migrated_blocks,
             epoch_wall_s=ctx.epoch_wall,
         )
+
+
+class TelemetrySpoolHook(EpochHook):
+    """Incrementally flushes step telemetry to an on-disk dataset.
+
+    At each epoch boundary (every ``every_epochs``-th, default every
+    one) the collector's rows recorded since the last flush are written
+    as a new :class:`~repro.telemetry.dataset.TelemetryDataset`
+    partition, so a long run is queryable on disk *mid-run* — point
+    ``repro query`` or ``Query(TelemetryDataset.open(...))`` at the
+    directory while the simulation is still going.  Each partition is
+    one epoch window and carries its own zone maps, so planned queries
+    over step/epoch ranges prune untouched epochs without reading them.
+
+    Place it after :class:`TelemetryHook` in the hook stack so the
+    epoch's rows exist before the flush.
+    """
+
+    def __init__(
+        self,
+        dataset: Union[TelemetryDataset, str, Path],
+        every_epochs: int = 1,
+    ) -> None:
+        if every_epochs < 1:
+            raise ValueError("every_epochs must be >= 1")
+        if not isinstance(dataset, TelemetryDataset):
+            dataset = TelemetryDataset.create(dataset)
+        self.dataset = dataset
+        self.every_epochs = every_epochs
+        self._since_flush = 0
+
+    def on_epoch_end(self, ctx: EngineContext, epoch) -> None:
+        self._since_flush += 1
+        if self._since_flush >= self.every_epochs:
+            if ctx.collector.flush_partition(
+                self.dataset, label=f"epoch-{epoch.index}"
+            ):
+                self._since_flush = 0
+
+    def on_run_end(self, ctx: EngineContext, summary: RunSummary) -> None:
+        ctx.collector.flush_partition(self.dataset, label="final")
 
 
 class PassiveMonitorHook(EpochHook):

@@ -11,6 +11,10 @@ Times the hot paths the repo's performance claims rest on —
   and on (the cached-vs-uncached headline);
 * **sweep executor**: a small Sedov sweep serial vs ``--jobs 4`` (the
   serial-vs-parallel headline; equal on a single-core host);
+* **telemetry queries**: a selective planned query over a partitioned
+  on-disk dataset (zone-map pruning + projection pushdown) vs the naive
+  read-everything-then-filter scan, plus a full-dataset grouped
+  aggregation (the Lesson-4 interactivity headline);
 
 — and writes ``BENCH_core.json``: per-metric medians plus environment
 metadata, with derived speedup ratios.  :func:`compare_bench` gates a
@@ -58,6 +62,7 @@ PROFILES: Dict[str, Dict] = {
         "epoch_steps": 120,
         "epoch_repeats": 2,
         "sweep": None,
+        "telemetry": {"partitions": 12, "rows_per_partition": 4_000, "repeats": 3},
     },
     "quick": {
         "policy_ranks": (2048, 8192),
@@ -74,6 +79,7 @@ PROFILES: Dict[str, Dict] = {
             "policies": ("baseline", "cplx:50"),
             "jobs": 4,
         },
+        "telemetry": {"partitions": 16, "rows_per_partition": 20_000, "repeats": 5},
     },
     "full": {
         "policy_ranks": (8192, 32768),
@@ -90,6 +96,7 @@ PROFILES: Dict[str, Dict] = {
             "policies": ("baseline", "cplx:0", "cplx:50", "cplx:100"),
             "jobs": 4,
         },
+        "telemetry": {"partitions": 32, "rows_per_partition": 50_000, "repeats": 5},
     },
 }
 
@@ -252,6 +259,96 @@ def _bench_sweep(
     )
 
 
+def _bench_telemetry(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    import tempfile
+
+    from ..telemetry.columnar import ColumnTable, read_table
+    from ..telemetry.dataset import TelemetryDataset
+    from ..telemetry.query import Query
+
+    tp = params["telemetry"]
+    n_parts, rows = tp["partitions"], tp["rows_per_partition"]
+    repeats = tp["repeats"]
+    rng = np.random.default_rng(99)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-telemetry-") as tmp:
+        ds = TelemetryDataset.create(tmp)
+        for i in range(n_parts):
+            steps = np.arange(i * rows, (i + 1) * rows, dtype=np.int64)
+            ds.append(
+                ColumnTable(
+                    {
+                        "step": steps,
+                        "rank": steps % 64,
+                        "compute_s": rng.random(rows),
+                        "comm_s": rng.random(rows),
+                    }
+                ),
+                label=f"epoch-{i}",
+            )
+        # Selective query: only the last partition's step range survives
+        # pruning — the "what happened at the end of the run" question.
+        lo = float((n_parts - 1) * rows)
+
+        def pruned_query():
+            return (
+                Query(ds)
+                .where("step", ">=", lo)
+                .group_by("rank")
+                .agg(("comm_s", "mean"))
+                .run()
+            )
+
+        def full_scan():
+            # The pre-pushdown strategy: decode every partition's full
+            # payload, concatenate, then filter/aggregate in memory.
+            tables = [read_table(p) for p in ds.partition_files()]
+            t = tables[0]
+            for other in tables[1:]:
+                t = t.concat(other)
+            return (
+                Query(t)
+                .where("step", ">=", lo)
+                .group_by("rank")
+                .agg(("comm_s", "mean"))
+                .run()
+            )
+
+        def group_agg():
+            return (
+                Query(ds)
+                .group_by("rank")
+                .agg(("comm_s", "mean"), ("comm_s", "p95"))
+                .run()
+            )
+
+        total = n_parts * rows
+        metrics[f"telemetry.query_pruned.n{total}"] = _time_case(pruned_query, repeats)
+        metrics[f"telemetry.query_fullscan.n{total}"] = _time_case(full_scan, repeats)
+        metrics[f"telemetry.groupagg.n{total}"] = _time_case(group_agg, repeats)
+        derived["telemetry.pruning_speedup"] = (
+            metrics[f"telemetry.query_fullscan.n{total}"]["median_s"]
+            / metrics[f"telemetry.query_pruned.n{total}"]["median_s"]
+        )
+        from ..telemetry.engine import ExecutionReport
+
+        report = ExecutionReport()
+        Query(ds).where("step", ">=", lo).group_by("rank").agg(
+            ("comm_s", "mean")
+        ).run(report)
+        skipped = len(report.scans[0].partitions_pruned)
+        derived["telemetry.partitions_pruned_frac"] = skipped / n_parts
+        log(
+            f"telemetry ({n_parts}x{rows} rows): pruned "
+            f"{metrics[f'telemetry.query_pruned.n{total}']['median_s'] * 1e3:.2f} ms, "
+            f"full scan "
+            f"{metrics[f'telemetry.query_fullscan.n{total}']['median_s'] * 1e3:.2f} ms "
+            f"({derived['telemetry.pruning_speedup']:.2f}x, "
+            f"{skipped}/{n_parts} partitions pruned)"
+        )
+
+
 # ---------------------------------------------------------------------- #
 # entry points
 # ---------------------------------------------------------------------- #
@@ -270,6 +367,7 @@ def run_bench(
     _bench_mesh(params, metrics, log)
     _bench_epoch_loop(params, metrics, derived, log)
     _bench_sweep(params, metrics, derived, log)
+    _bench_telemetry(params, metrics, derived, log)
     return {"meta": _environment(profile), "metrics": metrics, "derived": derived}
 
 

@@ -4,6 +4,13 @@ These are the analyses the paper ran to (a) decide whether telemetry was
 trustworthy (work↔time correlation, Fig. 1a), (b) localize anomalies
 (per-rank variance, Fig. 3), and (c) attribute synchronization cost to
 stragglers (§IV-D).
+
+Every function takes either an in-memory
+:class:`~repro.telemetry.columnar.ColumnTable` or an on-disk
+:class:`~repro.telemetry.dataset.TelemetryDataset` and goes through the
+logical-plan engine: dataset sources decode only the columns an
+analysis needs (projection pushdown), and aggregations run on the same
+vectorized kernels as the query layer.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from typing import Dict
 import numpy as np
 
 from .columnar import ColumnTable
+from .engine import materialize, source_columns
+from .query import Query
 
 __all__ = [
     "work_time_correlation",
@@ -25,7 +34,7 @@ __all__ = [
 
 
 def work_time_correlation(
-    table: ColumnTable,
+    source,
     work_col: str = "msgs_remote",
     time_col: str = "comm_s",
 ) -> float:
@@ -36,6 +45,7 @@ def work_time_correlation(
     be strong; while anomalies persist it is weak or absent.  Returns 0
     for degenerate (constant) inputs.
     """
+    table = materialize(source, columns=(work_col, time_col))
     work = table[work_col].astype(np.float64)
     t = table[time_col].astype(np.float64)
     if work.size < 2 or work.std() == 0 or t.std() == 0:
@@ -43,26 +53,17 @@ def work_time_correlation(
     return float(np.corrcoef(work, t)[0, 1])
 
 
-def rankwise_variance(table: ColumnTable, col: str = "comm_s") -> Dict[str, float]:
+def rankwise_variance(source, col: str = "comm_s") -> Dict[str, float]:
     """Spread statistics of per-rank mean times (Fig. 3's y-axis).
 
-    Aggregates the column to per-rank means, then reports the spread of
-    those means plus the mean per-rank step-to-step standard deviation
-    (jitter).  Both shrink as tuning stages are applied.
+    Aggregates the column to per-rank means through the plan engine,
+    then reports the spread of those means plus the mean per-rank
+    step-to-step standard deviation (jitter).  Both shrink as tuning
+    stages are applied.
     """
-    ranks = table["rank"]
-    vals = table[col].astype(np.float64)
-    order = np.argsort(ranks, kind="stable")
-    r_sorted, v_sorted = ranks[order], vals[order]
-    change = np.ones(r_sorted.shape[0], dtype=bool)
-    change[1:] = r_sorted[1:] != r_sorted[:-1]
-    starts = np.nonzero(change)[0]
-    bounds = np.append(starts, r_sorted.shape[0])
-    counts = np.diff(bounds).astype(np.float64)
-    sums = np.add.reduceat(v_sorted, starts)
-    sqsums = np.add.reduceat(v_sorted**2, starts)
-    means = sums / counts
-    jitter = np.sqrt(np.maximum(sqsums / counts - means**2, 0.0))
+    agg = Query(source).group_by("rank").agg((col, "mean"), (col, "std")).run()
+    means = agg[f"mean_{col}"]
+    jitter = agg[f"std_{col}"]
     return {
         "across_rank_std": float(means.std()),
         "across_rank_spread": float(means.max() - means.min()) if means.size else 0.0,
@@ -71,7 +72,7 @@ def rankwise_variance(table: ColumnTable, col: str = "comm_s") -> Dict[str, floa
     }
 
 
-def straggler_attribution(table: ColumnTable, top_k: int = 10) -> ColumnTable:
+def straggler_attribution(source, top_k: int = 10) -> ColumnTable:
     """Which ranks most often finished last before synchronization.
 
     For each step, the straggler is the rank with the maximal
@@ -80,6 +81,7 @@ def straggler_attribution(table: ColumnTable, top_k: int = 10) -> ColumnTable:
     clustered counts on the ranks of a few nodes are the thermal-throttle
     signature of Fig. 2.
     """
+    table = materialize(source, columns=("step", "rank", "compute_s", "comm_s"))
     steps = table["step"]
     ranks = table["rank"]
     busy = (table["compute_s"] + table["comm_s"]).astype(np.float64)
@@ -138,8 +140,11 @@ class PhaseBreakdown:
         )
 
 
-def phase_breakdown(table: ColumnTable) -> PhaseBreakdown:
-    """Weighted phase totals (rank-seconds) from a rank-step table."""
+def phase_breakdown(source) -> PhaseBreakdown:
+    """Weighted phase totals (rank-seconds) from a rank-step source."""
+    wanted = ("compute_s", "comm_s", "sync_s", "lb_s", "weight")
+    available = set(source_columns(source))
+    table = materialize(source, columns=[c for c in wanted if c in available])
     w = table["weight"] if "weight" in table else np.ones(table.n_rows)
     return PhaseBreakdown(
         compute=float((table["compute_s"] * w).sum()),

@@ -8,6 +8,10 @@ Two detectors matching the paper's two headline anomalies:
 * :func:`detect_wait_spikes` — transient MPI_Wait/comm spikes: per-rank
   robust outlier detection (median + k·MAD) that survives the
   aggregation which hides spikes from profilers (§IV-B implications).
+
+Both detectors accept an in-memory table or an on-disk
+:class:`~repro.telemetry.dataset.TelemetryDataset`; dataset sources
+decode only the columns the detector touches.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import List
 import numpy as np
 
 from .columnar import ColumnTable
+from .engine import materialize
 
 __all__ = [
     "ThrottleReport",
@@ -44,7 +49,7 @@ class ThrottleReport:
 
 
 def detect_throttled_nodes(
-    table: ColumnTable,
+    source,
     ranks_per_node: int,
     slowdown_threshold: float = 2.0,
 ) -> ThrottleReport:
@@ -57,6 +62,7 @@ def detect_throttled_nodes(
     """
     if ranks_per_node < 1:
         raise ValueError("ranks_per_node must be >= 1")
+    table = materialize(source, columns=("rank", "compute_s"))
     ranks = table["rank"]
     comp = table["compute_s"].astype(np.float64)
     n_ranks = int(ranks.max()) + 1 if ranks.size else 0
@@ -92,7 +98,7 @@ class SpikeReport:
 
 
 def detect_wait_spikes(
-    table: ColumnTable,
+    source,
     col: str = "comm_s",
     k_mad: float = 8.0,
     min_spike_s: float = 0.0,
@@ -102,8 +108,10 @@ def detect_wait_spikes(
     MAD-based thresholds keep working when spikes are rare and huge
     (mean/std would be dragged by the spikes themselves, which is why
     aggregate profiles miss them).  ``min_spike_s`` additionally floors
-    the threshold for nearly-constant baselines.
+    the threshold for nearly-constant baselines.  ``spike_rows`` index
+    into the source's row order (partition append order for datasets).
     """
+    table = materialize(source, columns=(col,))
     vals = table[col].astype(np.float64)
     if vals.size == 0:
         return SpikeReport(0, np.empty(0, dtype=np.int64), 0.0, 0.0)

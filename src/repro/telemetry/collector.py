@@ -59,6 +59,10 @@ class TelemetryCollector:
                 "reorders", "rollback", "degraded", "stall_s",
             )
         }
+        # Index into the step-chunk lists up to which rows have already
+        # been flushed to an on-disk dataset partition (incremental
+        # spooling; see flush_partition).
+        self._flush_mark = 0
 
     # ------------------------------------------------------------------ #
 
@@ -231,6 +235,31 @@ class TelemetryCollector:
             )
         return ColumnTable(cols)
 
+    def flush_partition(self, dataset, label: str | None = None) -> str | None:
+        """Spool step rows recorded since the last flush to ``dataset``.
+
+        Writes the unflushed rows as one new partition of a
+        :class:`~repro.telemetry.dataset.TelemetryDataset` (anything
+        with an ``append(table, label=...)`` method works) and advances
+        the flush mark.  Returns the new partition's file name, or
+        ``None`` when nothing new was recorded.
+
+        This is the incremental-persistence primitive behind
+        :class:`repro.engine.TelemetrySpoolHook`: flushed once per
+        epoch, a long run is queryable on disk *while it executes*, and
+        each epoch's partition carries its own zone maps so planned
+        queries prune by step/epoch range for free.
+        """
+        chunks = self._steps["step"]
+        if self._flush_mark >= len(chunks):
+            return None
+        mark = self._flush_mark
+        cols = {
+            name: np.concatenate(ch[mark:]) for name, ch in self._steps.items()
+        }
+        self._flush_mark = len(chunks)
+        return dataset.append(ColumnTable(cols), label=label)
+
     def epochs_table(self) -> ColumnTable:
         cols = {}
         int_cols = {
@@ -288,6 +317,11 @@ class TelemetryCollector:
             self._steps[name] = [
                 col[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
             ]
+        # Restored rows are treated as already persisted: a restore
+        # rewinds to a checkpoint whose rows were spooled (or discarded)
+        # by the run that wrote it, so re-flushing them would duplicate
+        # partitions.
+        self._flush_mark = len(self._steps["step"])
         epochs = tables["epochs"]
         for name in self._epochs:
             self._epochs[name] = epochs[name].tolist()

@@ -35,6 +35,7 @@ __all__ = [
     "write_table",
     "read_table",
     "read_stats",
+    "read_schema",
 ]
 
 _MAGIC = b"RPRC01\n"
@@ -270,6 +271,21 @@ def read_stats(path: str | Path) -> Dict[str, Tuple[float, float]]:
         )
         for c in header["columns"]
     }
+
+
+def read_schema(path: str | Path) -> Dict[str, np.dtype]:
+    """Read only the column names and dtypes (header-only, no payload).
+
+    The query planner uses this to validate referenced columns and to
+    synthesize correctly-typed empty results when every partition of a
+    dataset is pruned.
+    """
+    with open(path, "rb") as fh:
+        header = _read_header(fh)
+    try:
+        return {c["name"]: np.dtype(c["dtype"]) for c in header["columns"]}
+    except (TypeError, ValueError, KeyError) as exc:
+        raise CorruptTelemetryError(f"undecodable column manifest: {exc}") from exc
 
 
 def read_table(path: str | Path, columns: Sequence[str] | None = None) -> ColumnTable:

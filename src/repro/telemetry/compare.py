@@ -17,8 +17,22 @@ import numpy as np
 from scipy import stats
 
 from .columnar import ColumnTable
+from .engine import materialize
 
 __all__ = ["PhaseComparison", "RunComparison", "compare_runs"]
+
+
+def _prep(source, columns: Sequence[str]) -> ColumnTable:
+    """Materialize a comparison side, reading only the tested columns.
+
+    In-memory tables pass through untouched (preserving this module's
+    original error order: empty-table ValueError first, then KeyError
+    per missing column inside the comparison loop); datasets decode just
+    the phase columns via projection pushdown.
+    """
+    if isinstance(source, ColumnTable):
+        return source
+    return materialize(source, columns=columns)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -67,18 +81,22 @@ class RunComparison:
 
 
 def compare_runs(
-    table_a: ColumnTable,
-    table_b: ColumnTable,
+    table_a,
+    table_b,
     columns: Sequence[str] = ("compute_s", "comm_s", "sync_s"),
     label_a: str = "A",
     label_b: str = "B",
 ) -> RunComparison:
     """Mann–Whitney U comparison of phase columns between two runs.
 
-    Works on raw rank-step samples; the two runs need not have equal
-    length.  Raises on missing columns or empty tables (a comparison of
-    nothing is a bug, not a result).
+    Either side may be a :class:`ColumnTable` or a
+    :class:`~repro.telemetry.dataset.TelemetryDataset`.  Works on raw
+    rank-step samples; the two runs need not have equal length.  Raises
+    on missing columns or empty tables (a comparison of nothing is a
+    bug, not a result).
     """
+    table_a = _prep(table_a, columns)
+    table_b = _prep(table_b, columns)
     if table_a.n_rows == 0 or table_b.n_rows == 0:
         raise ValueError("cannot compare empty telemetry tables")
     out: List[PhaseComparison] = []

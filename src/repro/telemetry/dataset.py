@@ -4,9 +4,11 @@ Lesson 4 recommends "binary columnar formats ... with embedded
 statistics over partitioned data" for low-latency BSP telemetry.  A
 :class:`TelemetryDataset` is a directory of columnar files — one per
 partition (typically one per epoch or per run segment) — plus a JSON
-manifest.  Reads take simple predicates and use each file's *embedded
-column statistics* to skip partitions without touching their payload:
-the Parquet trick that makes interactive diagnosis possible at scale.
+manifest.  Reads go through the logical-plan engine
+(:mod:`repro.telemetry.plan` / :mod:`repro.telemetry.engine`): each
+file's *embedded column statistics* (zone maps) prune partitions
+without touching their payload, and only requested columns are decoded
+— the Parquet trick that makes interactive diagnosis possible at scale.
 """
 
 from __future__ import annotations
@@ -19,7 +21,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .columnar import ColumnTable, read_stats, read_table, write_table
+from .columnar import ColumnTable, read_schema, read_stats, write_table
+from .plan import ColumnPredicate
 
 __all__ = ["Predicate", "TelemetryDataset"]
 
@@ -60,6 +63,15 @@ class Predicate:
             m &= col <= self.hi
         return m
 
+    def to_plan_predicates(self) -> List[ColumnPredicate]:
+        """The equivalent conjunctive plan predicates (0, 1, or 2)."""
+        out: List[ColumnPredicate] = []
+        if self.lo is not None:
+            out.append(ColumnPredicate(self.column, ">=", self.lo))
+        if self.hi is not None:
+            out.append(ColumnPredicate(self.column, "<=", self.hi))
+        return out
+
 
 class TelemetryDataset:
     """A directory of columnar partitions with a manifest.
@@ -70,6 +82,10 @@ class TelemetryDataset:
         ds.append(table, label="epoch-0")
         ...
         hot = ds.read(predicates=[Predicate("comm_s", lo=0.01)])
+
+    A dataset is also a first-class query source: ``Query(ds)`` and
+    ``sql(ds, ...)`` plan lazily over it with partition pruning and
+    column-selective reads.
     """
 
     def __init__(self, root: Path, manifest: dict) -> None:
@@ -100,6 +116,21 @@ class TelemetryDataset:
     def n_partitions(self) -> int:
         return len(self._manifest["partitions"])
 
+    def partition_files(self) -> List[Path]:
+        """Partition paths in append order (the scan protocol)."""
+        return [self.root / p["file"] for p in self._manifest["partitions"]]
+
+    def schema(self) -> Dict[str, np.dtype]:
+        """Column names → dtypes, from the first partition's header.
+
+        Empty datasets have an empty schema.  Header-only: no payload
+        is read.
+        """
+        parts = self._manifest["partitions"]
+        if not parts:
+            return {}
+        return read_schema(self.root / parts[0]["file"])
+
     def append(self, table: ColumnTable, label: str | None = None) -> str:
         """Write a table as a new partition; returns its file name."""
         idx = self.n_partitions
@@ -118,30 +149,29 @@ class TelemetryDataset:
     ) -> ColumnTable:
         """Read matching rows across partitions with file-level pruning.
 
-        Partitions whose embedded stats rule out every predicate are
-        skipped without reading their payload; surviving partitions are
-        filtered row-wise and concatenated.
+        Builds a ``Scan → Filter → Project`` plan and executes it
+        through the engine: partitions whose embedded stats rule out
+        every predicate are skipped without reading their payload;
+        surviving partitions are filtered row-wise (one fused mask) and
+        concatenated.  Raises :class:`LookupError` when pruning leaves
+        no partition at all — a query that touches nothing is usually a
+        typo, not an empty result.
         """
-        tables: List[ColumnTable] = []
-        for part in self._manifest["partitions"]:
-            path = self.root / part["file"]
-            stats = read_stats(path)
-            if not all(p.might_match(stats) for p in predicates):
-                continue
-            t = read_table(path, columns=None)  # need predicate columns too
-            if predicates:
-                mask = np.ones(t.n_rows, dtype=bool)
-                for p in predicates:
-                    mask &= p.mask(t)
-                t = t.filter(mask)
-            if columns is not None:
-                t = t.select(list(columns))
-            tables.append(t)
-        if not tables:
+        from .engine import ExecutionReport, execute
+        from .plan import Filter, PlanNode, Project, Scan
+
+        plan_preds: List[ColumnPredicate] = []
+        for p in predicates:
+            plan_preds.extend(p.to_plan_predicates())
+        node: PlanNode = Scan(self)
+        if plan_preds:
+            node = Filter(node, tuple(plan_preds))
+        if columns is not None:
+            node = Project(node, tuple(columns))
+        report = ExecutionReport()
+        out = execute(node, report)
+        if not report.scans or not report.scans[0].partitions_scanned:
             raise LookupError("no partition matches the given predicates")
-        out = tables[0]
-        for t in tables[1:]:
-            out = out.concat(t)
         return out
 
     def pruned_partitions(self, predicates: Sequence[Predicate]) -> List[str]:

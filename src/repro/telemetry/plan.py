@@ -1,0 +1,280 @@
+"""Logical query plans over telemetry sources (paper §IV-C / Lesson 4).
+
+The paper's analysis pipeline became tractable only once telemetry was
+*queryable at scale*: binary columnar partitions with embedded
+statistics, consumed through a query layer that skips what a question
+does not need.  This module is the logical half of that layer — a small
+dataflow algebra in the lazy style of the columnar OLAP engines the
+paper migrated to:
+
+``Scan → Filter → Project → GroupAgg → Sort → Limit``
+
+Plans are immutable trees built by the :class:`~repro.telemetry.query.
+Query` builder (and its SQL dialect) and executed by
+:mod:`repro.telemetry.engine`.  The optimizer here rewrites a plan
+before execution:
+
+* **predicate pushdown** — ``Filter`` nodes sitting on a ``Scan`` merge
+  into it, so the executor can prune whole dataset partitions against
+  their embedded zone maps (min/max column statistics) without reading
+  any payload;
+* **projection pushdown** — the set of columns each node actually needs
+  is propagated down to the ``Scan``, so unrequested column payloads
+  are never decoded (``read_table(columns=...)`` seeks past them).
+
+The optimizer never changes results: pruning is conservative (a
+partition is skipped only when its statistics *prove* no row can
+match), and row-level filtering always re-applies the exact predicate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "COMPARISONS",
+    "ColumnPredicate",
+    "PlanNode",
+    "Scan",
+    "Filter",
+    "Project",
+    "GroupAgg",
+    "Sort",
+    "Limit",
+    "optimize",
+    "required_columns",
+]
+
+#: comparison operator -> vectorized mask function
+COMPARISONS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
+    "==": lambda c, v: c == v,
+    "!=": lambda c, v: c != v,
+    "<": lambda c, v: c < v,
+    "<=": lambda c, v: c <= v,
+    ">": lambda c, v: c > v,
+    ">=": lambda c, v: c >= v,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnPredicate:
+    """One conjunctive comparison: ``column <op> value``.
+
+    The row-level semantics live in :meth:`mask`; :meth:`bounds` derives
+    the inclusive ``[lo, hi]`` over-approximation a partition pruner may
+    test against zone maps (``!=`` admits no bound and never prunes).
+    """
+
+    column: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISONS:
+            raise ValueError(
+                f"unknown operator {self.op!r}; known: {sorted(COMPARISONS)}"
+            )
+
+    def mask(self, table) -> np.ndarray:
+        """Exact boolean row mask against a ColumnTable."""
+        return COMPARISONS[self.op](table[self.column], self.value)
+
+    def bounds(self) -> Tuple[Optional[float], Optional[float]]:
+        """Inclusive ``(lo, hi)`` superset of matching values (None = open).
+
+        Strict comparisons widen to their inclusive neighbour — pruning
+        only needs a superset; the executor re-applies :meth:`mask`
+        row-wise on every partition it does read.
+        """
+        if self.op == "==":
+            return (self.value, self.value)
+        if self.op in ("<", "<="):
+            return (None, self.value)
+        if self.op in (">", ">="):
+            return (self.value, None)
+        return (None, None)  # != — cannot prune
+
+    def might_match(self, stats: Dict[str, Tuple[float, float]]) -> bool:
+        """Could any row of a partition with these zone maps match?
+
+        Unknown columns cannot be pruned safely; empty partitions
+        (NaN statistics) hold no rows at all.
+        """
+        if self.column not in stats:
+            return True
+        cmin, cmax = stats[self.column]
+        if math.isnan(cmin):
+            return False
+        lo, hi = self.bounds()
+        if lo is not None and cmax < lo:
+            return False
+        if hi is not None and cmin > hi:
+            return False
+        return True
+
+    def describe(self) -> str:
+        return f"{self.column} {self.op} {self.value:g}"
+
+
+# ---------------------------------------------------------------------- #
+# plan nodes
+# ---------------------------------------------------------------------- #
+
+
+class PlanNode:
+    """Base class for logical plan nodes (immutable tree)."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Scan(PlanNode):
+    """Leaf: produce rows from a source.
+
+    ``source`` is either an in-memory
+    :class:`~repro.telemetry.columnar.ColumnTable` or a dataset-like
+    object exposing ``partition_files()`` / ``schema()``
+    (:class:`~repro.telemetry.dataset.TelemetryDataset`).  ``columns``
+    and ``predicates`` are filled in by the optimizer's pushdown passes;
+    hand-built scans may also set them directly.
+    """
+
+    source: object
+    columns: Optional[Tuple[str, ...]] = None
+    predicates: Tuple[ColumnPredicate, ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class Filter(PlanNode):
+    """Keep rows matching *all* predicates (masks are fused, one pass)."""
+
+    child: PlanNode
+    predicates: Tuple[ColumnPredicate, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Project(PlanNode):
+    """Keep only the named columns, in the given order."""
+
+    child: PlanNode
+    columns: Tuple[str, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class GroupAgg(PlanNode):
+    """Group by ``keys`` (may be empty = one global group) and aggregate.
+
+    ``aggs`` are ``(column, function)`` pairs naming functions in
+    :data:`repro.telemetry.engine.AGGREGATES`; output columns are named
+    ``{function}_{column}`` after the sorted group keys.
+    """
+
+    child: PlanNode
+    keys: Tuple[str, ...]
+    aggs: Tuple[Tuple[str, str], ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Sort(PlanNode):
+    """Stable sort by one column (descending reverses the stable order)."""
+
+    child: PlanNode
+    column: str
+    desc: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Limit(PlanNode):
+    """Keep the first ``n`` rows."""
+
+    child: PlanNode
+    n: int
+
+
+# ---------------------------------------------------------------------- #
+# optimizer
+# ---------------------------------------------------------------------- #
+
+
+def _ordered_union(*column_sets: Iterable[str]) -> Tuple[str, ...]:
+    out: Dict[str, None] = {}
+    for cols in column_sets:
+        for c in cols:
+            out[c] = None
+    return tuple(out)
+
+
+def _push_projection(node: PlanNode, needed: Optional[Tuple[str, ...]]) -> PlanNode:
+    """Propagate the needed-column set down to the Scan.
+
+    ``needed is None`` means "everything" — the plan's output includes
+    all source columns, so the scan must read them all.
+    """
+    if isinstance(node, Scan):
+        if needed is None or node.columns is not None:
+            return node
+        return dataclasses.replace(node, columns=needed)
+    if isinstance(node, Project):
+        child = _push_projection(node.child, _ordered_union(node.columns))
+        return dataclasses.replace(node, child=child)
+    if isinstance(node, GroupAgg):
+        # Output columns are derived; the child needs exactly the keys
+        # plus the aggregated inputs, whatever the parent asked for.
+        child_needed = _ordered_union(node.keys, (c for c, _ in node.aggs))
+        return dataclasses.replace(
+            node, child=_push_projection(node.child, child_needed)
+        )
+    if isinstance(node, Sort):
+        child_needed = (
+            None if needed is None else _ordered_union(needed, (node.column,))
+        )
+        return dataclasses.replace(
+            node, child=_push_projection(node.child, child_needed)
+        )
+    if isinstance(node, Filter):
+        child_needed = (
+            None
+            if needed is None
+            else _ordered_union(needed, (p.column for p in node.predicates))
+        )
+        return dataclasses.replace(
+            node, child=_push_projection(node.child, child_needed)
+        )
+    if isinstance(node, Limit):
+        return dataclasses.replace(node, child=_push_projection(node.child, needed))
+    raise TypeError(f"unknown plan node {type(node).__name__}")
+
+
+def _push_predicates(node: PlanNode) -> PlanNode:
+    """Merge Filter nodes sitting directly on a Scan into the Scan."""
+    if isinstance(node, Scan):
+        return node
+    if isinstance(node, Filter):
+        child = _push_predicates(node.child)
+        if isinstance(child, Scan):
+            return dataclasses.replace(
+                child, predicates=child.predicates + node.predicates
+            )
+        if isinstance(child, Filter):
+            return dataclasses.replace(
+                child, predicates=child.predicates + node.predicates
+            )
+        return dataclasses.replace(node, child=child)
+    return dataclasses.replace(node, child=_push_predicates(node.child))
+
+
+def optimize(node: PlanNode) -> PlanNode:
+    """Apply projection then predicate pushdown; results are unchanged."""
+    return _push_predicates(_push_projection(node, None))
+
+
+def required_columns(node: PlanNode) -> Optional[Tuple[str, ...]]:
+    """Columns the optimized plan would read from its scan (None = all)."""
+    opt = optimize(node)
+    while not isinstance(opt, Scan):
+        opt = opt.child
+    return opt.columns

@@ -1,6 +1,6 @@
-"""Query engine over columnar telemetry (paper §IV-C / Lesson 4).
+"""Query interfaces over columnar telemetry (paper §IV-C / Lesson 4).
 
-Two interfaces over :class:`~repro.telemetry.columnar.ColumnTable`:
+Two interfaces over tables *and* partitioned datasets:
 
 * a fluent builder — ``Query(t).where("rank", "<", 16).group_by("step")
   .agg(("comm_s", "mean"), ("comm_s", "p99")).run()``;
@@ -9,106 +9,91 @@ Two interfaces over :class:`~repro.telemetry.columnar.ColumnTable`:
   — mirroring how the paper's diagnosis settled on "SQL over telemetry
   grouped by timestep and sorted by rank".
 
-Group-by is vectorized: composite keys via ``np.unique(return_inverse)``
-and aggregation via sorted ``reduceat`` — no per-group Python loops, so
-million-row tables stay interactive (the low-latency property Lesson 4
-calls essential for hypothesis-driven exploration).
+Both are **thin constructors over the logical plan layer**
+(:mod:`repro.telemetry.plan`): nothing is read or computed until
+:meth:`Query.run`, which hands the plan to the executor in
+:mod:`repro.telemetry.engine`.  Against a
+:class:`~repro.telemetry.dataset.TelemetryDataset` source the optimizer
+pushes predicates into partition pruning (zone maps) and projections
+into column-selective reads, so a selective query touches only the
+partitions and columns it needs; :meth:`Query.explain` shows the
+decision.  Results are bit-identical to the historical eager path.
+
+Group-by stays vectorized: composite keys via lexsort + change
+detection and aggregation via sorted ``reduceat`` — no per-group Python
+loops, so million-row tables stay interactive (the low-latency property
+Lesson 4 calls essential for hypothesis-driven exploration).
 """
 
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List, Tuple
-
-import numpy as np
+from typing import List, Optional, Tuple, Union
 
 from .columnar import ColumnTable
+from .engine import AGGREGATES, ExecutionReport, execute
+from .engine import explain as explain_plan
+from .engine import source_columns
+from .plan import (
+    COMPARISONS,
+    ColumnPredicate,
+    Filter,
+    GroupAgg,
+    Limit,
+    PlanNode,
+    Project,
+    Scan,
+    Sort,
+)
 
-__all__ = ["Query", "sql", "AGGREGATES"]
+__all__ = ["Query", "sql", "sql_query", "AGGREGATES"]
 
-
-def _agg_quantile(q: float) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
-    def fn(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
-        out = np.empty(starts.shape[0], dtype=np.float64)
-        bounds = np.append(starts, sorted_vals.shape[0])
-        for i in range(starts.shape[0]):
-            out[i] = np.quantile(sorted_vals[bounds[i]:bounds[i + 1]], q)
-        return out
-
-    return fn
-
-
-def _reduceat(op) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
-    def fn(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
-        return op.reduceat(sorted_vals, starts)
-
-    return fn
-
-
-def _agg_mean(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
-    sums = np.add.reduceat(sorted_vals, starts)
-    counts = np.diff(np.append(starts, sorted_vals.shape[0]))
-    return sums / counts
-
-
-def _agg_count(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
-    return np.diff(np.append(starts, sorted_vals.shape[0])).astype(np.int64)
-
-
-def _agg_std(sorted_vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
-    bounds = np.append(starts, sorted_vals.shape[0])
-    counts = np.diff(bounds).astype(np.float64)
-    sums = np.add.reduceat(sorted_vals, starts)
-    sqsums = np.add.reduceat(sorted_vals.astype(np.float64) ** 2, starts)
-    var = np.maximum(sqsums / counts - (sums / counts) ** 2, 0.0)
-    return np.sqrt(var)
-
-
-#: name -> group-aggregation function over (group-sorted values, group starts)
-AGGREGATES: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
-    "sum": _reduceat(np.add),
-    "min": _reduceat(np.minimum),
-    "max": _reduceat(np.maximum),
-    "mean": _agg_mean,
-    "count": _agg_count,
-    "std": _agg_std,
-    "p50": _agg_quantile(0.50),
-    "p95": _agg_quantile(0.95),
-    "p99": _agg_quantile(0.99),
-}
-
-_OPS: Dict[str, Callable[[np.ndarray, float], np.ndarray]] = {
-    "==": lambda c, v: c == v,
-    "!=": lambda c, v: c != v,
-    "<": lambda c, v: c < v,
-    "<=": lambda c, v: c <= v,
-    ">": lambda c, v: c > v,
-    ">=": lambda c, v: c >= v,
-}
+#: any queryable source: an in-memory table or a partitioned dataset
+Source = Union[ColumnTable, object]
 
 
 class Query:
-    """Composable filter / group-by / aggregate over a ColumnTable."""
+    """Composable filter / group-by / aggregate over a table or dataset.
 
-    def __init__(self, table: ColumnTable) -> None:
-        self.table = table
-        self._mask: np.ndarray | None = None
+    Building is lazy and cheap; :meth:`run` assembles a logical plan and
+    executes it through the optimizer, :meth:`explain` renders the
+    optimized plan (including partitions pruned vs scanned for dataset
+    sources), and :meth:`plan` exposes the unoptimized tree.
+    """
+
+    def __init__(self, source: Source) -> None:
+        self.source = source
+        #: kept for backwards compatibility with the eager-era attribute
+        self.table = source if isinstance(source, ColumnTable) else None
+        self._preds: List[ColumnPredicate] = []
         self._group: List[str] = []
         self._aggs: List[Tuple[str, str]] = []
         self._order: Tuple[str, bool] | None = None
         self._limit: int | None = None
+        self._select: List[str] | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def _check_column(self, name: str) -> None:
+        """Eager schema validation (same KeyError the eager path raised)."""
+        if isinstance(self.source, ColumnTable):
+            _ = self.source[name]
+            return
+        names = source_columns(self.source)
+        if names and name not in names:
+            raise KeyError(f"no column {name!r}; have {names}")
 
     def where(self, column: str, op: str, value: float) -> "Query":
         """Add a conjunctive predicate (``column <op> value``)."""
-        if op not in _OPS:
-            raise ValueError(f"unknown operator {op!r}; known: {sorted(_OPS)}")
-        m = _OPS[op](self.table[column], value)
-        self._mask = m if self._mask is None else (self._mask & m)
+        if op not in COMPARISONS:
+            raise ValueError(f"unknown operator {op!r}; known: {sorted(COMPARISONS)}")
+        self._check_column(column)
+        self._preds.append(ColumnPredicate(column, op, value))
         return self
 
     def group_by(self, *columns: str) -> "Query":
         for c in columns:
-            _ = self.table[c]  # validate eagerly
+            self._check_column(c)
         self._group = list(columns)
         return self
 
@@ -118,7 +103,7 @@ class Query:
         Output columns are named ``{func}_{column}``.
         """
         for col, fn in specs:
-            _ = self.table[col]
+            self._check_column(col)
             if fn not in AGGREGATES:
                 raise ValueError(f"unknown aggregate {fn!r}; known: {sorted(AGGREGATES)}")
         self._aggs.extend(specs)
@@ -134,53 +119,37 @@ class Query:
         self._limit = n
         return self
 
+    def select(self, *columns: str) -> "Query":
+        """Final projection applied after every other stage."""
+        self._select = list(columns)
+        return self
+
     # ------------------------------------------------------------------ #
 
-    def run(self) -> ColumnTable:
-        """Execute: filter → group/aggregate → order → limit."""
-        t = self.table if self._mask is None else self.table.filter(self._mask)
-
-        if self._group or self._aggs:
-            t = self._grouped(t)
-
-        if self._order is not None:
-            col, desc = self._order
-            order = np.argsort(t[col], kind="stable")
-            if desc:
-                order = order[::-1]
-            t = t.filter(order)
-        if self._limit is not None:
-            t = t.head(self._limit)
-        return t
-
-    def _grouped(self, t: ColumnTable) -> ColumnTable:
-        if not self._aggs:
+    def plan(self) -> PlanNode:
+        """The (unoptimized) logical plan this query describes."""
+        if self._group and not self._aggs:
             raise ValueError("group_by requires at least one agg()")
-        n = t.n_rows
-        if self._group:
-            keys = np.stack([t[c] for c in self._group], axis=1)
-            # Composite key via structured view-free lexsort + unique rows.
-            order = np.lexsort(tuple(t[c] for c in reversed(self._group)))
-            sorted_keys = keys[order]
-            change = np.ones(n, dtype=bool)
-            if n > 1:
-                change[1:] = np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1)
-            starts = np.nonzero(change)[0] if n else np.empty(0, dtype=np.int64)
-            out: Dict[str, np.ndarray] = {
-                c: sorted_keys[starts, i] for i, c in enumerate(self._group)
-            }
-        else:
-            order = np.arange(n)
-            starts = np.zeros(1 if n else 0, dtype=np.int64)
-            out = {}
-        for col, fn in self._aggs:
-            vals = t[col][order].astype(np.float64, copy=False)
-            name = f"{fn}_{col}"
-            if n:
-                out[name] = AGGREGATES[fn](vals, starts)
-            else:
-                out[name] = np.empty(0, dtype=np.float64)
-        return ColumnTable(out)
+        node: PlanNode = Scan(self.source)
+        if self._preds:
+            node = Filter(node, tuple(self._preds))
+        if self._group or self._aggs:
+            node = GroupAgg(node, tuple(self._group), tuple(self._aggs))
+        if self._order is not None:
+            node = Sort(node, self._order[0], self._order[1])
+        if self._limit is not None:
+            node = Limit(node, self._limit)
+        if self._select is not None:
+            node = Project(node, tuple(self._select))
+        return node
+
+    def run(self, report: Optional[ExecutionReport] = None) -> ColumnTable:
+        """Execute: filter → group/aggregate → order → limit → select."""
+        return execute(self.plan(), report)
+
+    def explain(self) -> str:
+        """The optimized plan, with partitions pruned vs scanned."""
+        return explain_plan(self.plan())
 
 
 # ---------------------------------------------------------------------- #
@@ -199,18 +168,21 @@ _AGG_RE = re.compile(r"^(?P<fn>\w+)\(\s*(?P<col>\w+)\s*\)$")
 _PRED_RE = re.compile(r"^(?P<col>\w+)\s*(?P<op>==|!=|<=|>=|<|>|=)\s*(?P<val>[-+.\w]+)$")
 
 
-def sql(table: ColumnTable, statement: str) -> ColumnTable:
-    """Execute a single SELECT statement against a table.
+def sql_query(source: Source, statement: str) -> Query:
+    """Parse a SELECT statement into a :class:`Query` (not yet executed).
 
     Grammar: ``SELECT item[, ...] FROM <any name> [WHERE pred [AND ...]]
     [GROUP BY col[, ...]] [ORDER BY col [DESC]] [LIMIT n]`` where an item
     is a column name or ``fn(column)`` with ``fn`` in
     :data:`AGGREGATES`, and predicates compare a column to a literal.
+
+    The returned query can be executed (:meth:`Query.run`) or inspected
+    (:meth:`Query.explain`) — the ``repro query --explain`` CLI path.
     """
     m = _SQL_RE.match(statement)
     if not m:
         raise ValueError(f"cannot parse SQL: {statement!r}")
-    q = Query(table)
+    q = Query(source)
 
     if m.group("where"):
         for pred in re.split(r"\s+AND\s+", m.group("where"), flags=re.IGNORECASE):
@@ -223,7 +195,7 @@ def sql(table: ColumnTable, statement: str) -> ColumnTable:
     plain_cols: List[str] = []
     for item in (s.strip() for s in m.group("select").split(",")):
         if item == "*":
-            plain_cols.extend(table.names)
+            plain_cols.extend(source_columns(source))
             continue
         am = _AGG_RE.match(item)
         if am:
@@ -245,7 +217,11 @@ def sql(table: ColumnTable, statement: str) -> ColumnTable:
     if m.group("limit"):
         q.limit(int(m.group("limit")))
 
-    result = q.run()
     if not q._aggs and plain_cols:
-        result = result.select(plain_cols)
-    return result
+        q.select(*plain_cols)
+    return q
+
+
+def sql(source: Source, statement: str) -> ColumnTable:
+    """Execute a single SELECT statement against a table or dataset."""
+    return sql_query(source, statement).run()

@@ -23,6 +23,7 @@ from .analysis import (
 )
 from .anomaly import detect_throttled_nodes, detect_wait_spikes
 from .columnar import ColumnTable
+from .engine import materialize
 
 __all__ = ["Finding", "RunReport", "diagnose"]
 
@@ -75,12 +76,16 @@ class RunReport:
 
 
 def diagnose(
-    table: ColumnTable,
+    table,
     ranks_per_node: int = 16,
     sync_fraction_warn: float = 0.35,
     correlation_floor: float = 0.5,
 ) -> RunReport:
-    """Analyze a rank-step telemetry table and produce a report.
+    """Analyze rank-step telemetry and produce a report.
+
+    ``table`` may be an in-memory :class:`ColumnTable` or an on-disk
+    :class:`~repro.telemetry.dataset.TelemetryDataset` (materialized
+    once up front — the report touches most columns anyway).
 
     The findings encode the paper's decision order:
 
@@ -91,6 +96,7 @@ def diagnose(
     4. high sync with *clustered* stragglers vs *dispersed* stragglers:
        the former points at hardware/system, the latter at placement.
     """
+    table = materialize(table)
     findings: List[Finding] = []
     phases = phase_breakdown(table)
     fr = phases.fractions()

@@ -41,6 +41,20 @@ class TestRunBench:
         assert 0.0 <= derived["epoch.cache_hit_rate"] <= 1.0
         assert derived["epoch.cache_speedup"] > 0
 
+    def test_telemetry_query_metrics(self, smoke_result):
+        metrics = smoke_result["metrics"]
+        names = {n.rsplit(".n", 1)[0] for n in metrics if n.startswith("telemetry.")}
+        assert names == {
+            "telemetry.query_pruned",
+            "telemetry.query_fullscan",
+            "telemetry.groupagg",
+        }
+        derived = smoke_result["derived"]
+        # The selective query must actually skip partitions, and skipping
+        # must pay: the acceptance bar is >= 2x vs the naive full scan.
+        assert derived["telemetry.partitions_pruned_frac"] > 0.5
+        assert derived["telemetry.pruning_speedup"] >= 2.0
+
     def test_profiles_cover_sweep_only_beyond_smoke(self):
         assert PROFILES["smoke"]["sweep"] is None
         assert PROFILES["quick"]["sweep"] is not None

@@ -240,3 +240,76 @@ class TestCorruption:
         write_table(t, p)
         assert read_table(p) == t
         assert not (tmp_path / "t.rprc.tmp").exists()
+
+
+class TestProjectedReadSkipsPayload:
+    """``read_table(columns=...)`` must *seek past* unrequested payloads,
+    not read-and-discard them — the physical half of projection pushdown."""
+
+    @staticmethod
+    def _counting_open(counter):
+        import builtins
+
+        class CountingFile:
+            def __init__(self, fh):
+                self._fh = fh
+
+            def read(self, n=-1):
+                data = self._fh.read(n)
+                counter["bytes"] += len(data)
+                return data
+
+            def __getattr__(self, name):
+                return getattr(self._fh, name)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return self._fh.__exit__(*exc)
+
+        def opener(path, mode="r", **kw):
+            fh = builtins.open(path, mode, **kw)
+            return CountingFile(fh) if "b" in mode else fh
+
+        return opener
+
+    def test_column_subset_reads_fewer_bytes(self, tmp_path, monkeypatch):
+        from repro.telemetry import columnar
+
+        big = np.arange(200_000, dtype=np.float64)        # 1.6 MB payload
+        small = np.arange(200_000, dtype=np.int8).astype(np.bool_)
+        t = ColumnTable({"big": big, "tiny": small})
+        p = tmp_path / "t.rprc"
+        write_table(t, p)
+
+        counter = {"bytes": 0}
+        monkeypatch.setattr(
+            columnar, "open", self._counting_open(counter), raising=False
+        )
+        got = columnar.read_table(p, columns=["tiny"])
+        np.testing.assert_array_equal(got["tiny"], small)
+        # Header + tiny payload only: far below big's 1.6 MB.
+        assert counter["bytes"] < big.nbytes // 4
+        assert counter["bytes"] >= small.nbytes
+
+        counter["bytes"] = 0
+        full = columnar.read_table(p)
+        assert full == t
+        assert counter["bytes"] > big.nbytes  # sanity: full read sees it all
+
+    def test_stats_and_schema_are_header_only(self, tmp_path, monkeypatch):
+        from repro.telemetry import columnar
+
+        big = np.arange(100_000, dtype=np.float64)
+        p = tmp_path / "t.rprc"
+        write_table(ColumnTable({"big": big}), p)
+        counter = {"bytes": 0}
+        monkeypatch.setattr(
+            columnar, "open", self._counting_open(counter), raising=False
+        )
+        stats = columnar.read_stats(p)
+        schema = columnar.read_schema(p)
+        assert stats["big"] == (0.0, 99_999.0)
+        assert schema == {"big": np.dtype(np.float64)}
+        assert counter["bytes"] < 4096  # two header reads, zero payload
