@@ -11,10 +11,13 @@ from .distributions import COST_DISTRIBUTIONS, make_costs
 from .reporting import cplx_label, format_series, format_table
 from .scalebench import (
     ScalebenchConfig,
+    ScalebenchResult,
     ScalebenchRow,
     makespan_table,
     overhead_table,
     run_scalebench,
+    run_scalebench_supervised,
+    scalebench_digest,
 )
 from .sedov_experiment import (
     DEFAULT_POLICIES,
@@ -39,6 +42,7 @@ __all__ = [
     "DEFAULT_POLICIES",
     "PolicyOutcome",
     "ScalebenchConfig",
+    "ScalebenchResult",
     "ScalebenchRow",
     "SedovSweepConfig",
     "SedovSweepResult",
@@ -55,7 +59,9 @@ __all__ = [
     "reordering_study",
     "run_commbench",
     "run_scalebench",
+    "run_scalebench_supervised",
     "run_sedov_sweep",
+    "scalebench_digest",
     "spike_study",
     "throttling_study",
 ]

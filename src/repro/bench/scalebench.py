@@ -16,17 +16,31 @@ algorithms themselves.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence, Tuple
+import hashlib
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.metrics import normalized_makespan
 from ..core.policy import get_policy
 from ..perf.executor import parallel_map
+from ..perf.supervisor import (
+    CellFailure,
+    SupervisedReport,
+    SupervisorConfig,
+    supervised_map,
+)
 from .distributions import COST_DISTRIBUTIONS, make_costs
 from .reporting import cplx_label, format_table
 
-__all__ = ["ScalebenchConfig", "ScalebenchRow", "run_scalebench"]
+__all__ = [
+    "ScalebenchConfig",
+    "ScalebenchRow",
+    "ScalebenchResult",
+    "run_scalebench",
+    "run_scalebench_supervised",
+    "scalebench_digest",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -110,6 +124,60 @@ def run_scalebench(config: ScalebenchConfig, jobs: int = 1) -> List[ScalebenchRo
         for x in config.x_values
     ]
     return parallel_map(_run_scalebench_cell, cells, jobs)
+
+
+@dataclasses.dataclass
+class ScalebenchResult:
+    """A supervised scalebench run: surviving rows + the fault record."""
+
+    rows: List[ScalebenchRow]
+    #: quarantined cells (empty when every cell succeeded)
+    failures: List[CellFailure]
+    executor: SupervisedReport
+
+    def digest(self) -> str:
+        return scalebench_digest(self.rows)
+
+
+def scalebench_digest(rows: Sequence[ScalebenchRow]) -> str:
+    """SHA-256 over the deterministic row values (placement times are
+    host measurements and are excluded), for resume-equivalence checks."""
+    h = hashlib.sha256()
+    for r in rows:
+        h.update(
+            f"{r.n_ranks}|{r.distribution}|{r.x!r}|{r.norm_makespan!r}\n".encode()
+        )
+    return h.hexdigest()
+
+
+def run_scalebench_supervised(
+    config: ScalebenchConfig,
+    jobs: int = 1,
+    supervise: Optional[SupervisorConfig] = None,
+) -> ScalebenchResult:
+    """:func:`run_scalebench` on the supervised executor.
+
+    Crashed/hung/flaky cells are retried and quarantined per the
+    supervisor config instead of aborting the sweep; with a journal
+    configured the run is resumable after Ctrl-C / ``kill -9``, and the
+    surviving rows (and their :func:`scalebench_digest`) are
+    bit-identical to an uninterrupted serial run.
+    """
+    cells = [
+        _ScalebenchCell(config=config, n_ranks=n_ranks, distribution=dist, x=x)
+        for n_ranks in config.scales
+        for dist in config.distributions
+        for x in config.x_values
+    ]
+    report = supervised_map(
+        _run_scalebench_cell, cells, jobs,
+        config=supervise if supervise is not None else SupervisorConfig(),
+    )
+    return ScalebenchResult(
+        rows=[r for r in report.results if not isinstance(r, CellFailure)],
+        failures=report.failures,
+        executor=report,
+    )
 
 
 def makespan_table(rows: Sequence[ScalebenchRow]) -> str:

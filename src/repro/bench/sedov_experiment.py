@@ -18,9 +18,10 @@ geometry-faithful reduced configurations to the full Table I runs.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import os
 from collections import OrderedDict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 from ..amr.driver import DriverConfig, RunSummary, run_trajectory
@@ -28,6 +29,12 @@ from ..amr.sedov import SedovConfig, SedovEpoch, scaled_config, table_i_config
 from ..core.policy import get_policy
 from ..engine.hooks import PhaseProfilerHook
 from ..perf.executor import parallel_map
+from ..perf.supervisor import (
+    CellFailure,
+    SupervisedReport,
+    SupervisorConfig,
+    supervised_map,
+)
 from ..simnet.cluster import Cluster
 from .reporting import cplx_label, format_table
 
@@ -100,10 +107,21 @@ class PolicyOutcome:
 
 @dataclasses.dataclass
 class SedovSweepResult:
-    """All policy arms across all scales, plus Table I statistics."""
+    """All policy arms across all scales, plus Table I statistics.
+
+    Under supervised execution (``run_sedov_sweep(..., supervise=...)``)
+    quarantined cells are absent from ``outcomes`` and listed in
+    ``failures``; the report tables simply skip the missing arms
+    (graceful degradation — a poison cell costs its own numbers, not the
+    sweep).
+    """
 
     outcomes: List[PolicyOutcome]
     table_i: List[Dict[str, int]]
+    #: quarantined (scale, policy) cells, empty for unsupervised runs
+    failures: List[CellFailure] = dataclasses.field(default_factory=list)
+    #: the executor's event/counter record, when supervised
+    executor: Optional[SupervisedReport] = None
 
     # ------------------------------------------------------------------ #
 
@@ -112,6 +130,31 @@ class SedovSweepResult:
             if o.scale == scale and o.policy_label == label:
                 return o
         raise KeyError(f"no outcome for scale={scale}, policy={label}")
+
+    def has(self, scale: int, label: str) -> bool:
+        return any(
+            o.scale == scale and o.policy_label == label for o in self.outcomes
+        )
+
+    def digest(self) -> str:
+        """SHA-256 over the deterministic (simulation-derived) results.
+
+        Covers message-locality counts and trajectory shape per arm —
+        fields that are bit-identical across serial, parallel, and
+        resumed executions — so two runs of the same configuration can
+        be compared with one string.
+        """
+        h = hashlib.sha256()
+        for o in self.outcomes:
+            h.update(
+                (
+                    f"{o.scale}|{o.policy_label}|{o.msg_local!r}|"
+                    f"{o.msg_remote!r}|{o.msg_intra!r}|"
+                    f"{o.summary.total_steps}|{o.summary.n_epochs}|"
+                    f"{o.summary.final_blocks}\n"
+                ).encode()
+            )
+        return h.hexdigest()
 
     def scales(self) -> List[int]:
         return sorted({o.scale for o in self.outcomes})
@@ -124,12 +167,14 @@ class SedovSweepResult:
         return seen
 
     def reduction_vs_baseline(self, scale: int, label: str) -> float:
+        if not self.has(scale, "baseline"):
+            return float("nan")
         base = self.at(scale, "baseline").wall_s
         return (base - self.at(scale, label).wall_s) / base
 
     def best_label(self, scale: int) -> str:
         return min(
-            self.labels(),
+            (label for label in self.labels() if self.has(scale, label)),
             key=lambda label: self.at(scale, label).wall_s,
         )
 
@@ -142,6 +187,8 @@ class SedovSweepResult:
         rows = []
         for scale in self.scales():
             for label in self.labels():
+                if not self.has(scale, label):
+                    continue            # quarantined under supervision
                 o = self.at(scale, label)
                 f = o.summary.phase_fractions()
                 rows.append(
@@ -167,8 +214,12 @@ class SedovSweepResult:
         scales = list(scales or [self.scales()[0], self.scales()[-1]])
         rows = []
         for scale in scales:
+            if not self.has(scale, "baseline"):
+                continue                # baseline arm quarantined
             base = self.at(scale, "baseline").summary.phase_rank_seconds
             for label in self.labels():
+                if not self.has(scale, label):
+                    continue
                 p = self.at(scale, label).summary.phase_rank_seconds
                 rows.append(
                     [
@@ -189,9 +240,13 @@ class SedovSweepResult:
         scales = list(scales or [self.scales()[0], self.scales()[-1]])
         rows = []
         for scale in scales:
+            if not self.has(scale, "baseline"):
+                continue                # baseline arm quarantined
             base = self.at(scale, "baseline")
             base_total = base.msg_local + base.msg_remote
             for label in self.labels():
+                if not self.has(scale, label):
+                    continue
                 o = self.at(scale, label)
                 rows.append(
                     [
@@ -306,24 +361,48 @@ def _run_sweep_cell(cell: _SweepCell) -> Tuple[PolicyOutcome, Dict[str, int]]:
     return outcome, table_entry
 
 
-def run_sedov_sweep(config: SedovSweepConfig, jobs: int = 1) -> SedovSweepResult:
+def run_sedov_sweep(
+    config: SedovSweepConfig,
+    jobs: int = 1,
+    supervise: Optional[SupervisorConfig] = None,
+) -> SedovSweepResult:
     """Run the full sweep.  Trajectories are shared across policy arms.
 
     ``jobs`` shards the independent (scale, policy) cells across a
     process pool (``jobs=0`` = one worker per CPU); results are merged
     in grid order and are bit-identical to the serial run.
+
+    With ``supervise`` set, cells run under the supervised executor:
+    crashed/hung cells are retried and — once the budget is exhausted —
+    quarantined into ``result.failures`` instead of aborting the sweep,
+    and a configured journal makes the sweep resumable after any
+    interruption (every surviving cell still bit-identical to serial).
     """
     cells = [
         _SweepCell(config=config, scale=scale, policy=name)
         for scale in config.scales
         for name in config.policies
     ]
-    results = parallel_map(_run_sweep_cell, cells, jobs)
-    outcomes = [outcome for outcome, _ in results]
+    if supervise is None:
+        pairs = parallel_map(_run_sweep_cell, cells, jobs)
+        report = None
+        failures: List[CellFailure] = []
+    else:
+        report = supervised_map(_run_sweep_cell, cells, jobs, config=supervise)
+        failures = report.failures
+        pairs = [
+            r if not isinstance(r, CellFailure) else None
+            for r in report.results
+        ]
+    outcomes = [pair[0] for pair in pairs if pair is not None]
     table_i: List[Dict[str, int]] = []
     seen_scales: set = set()
-    for cell, (_, table_entry) in zip(cells, results):
+    for cell, pair in zip(cells, pairs):
+        if pair is None:
+            continue
         if cell.scale not in seen_scales:
             seen_scales.add(cell.scale)
-            table_i.append(table_entry)
-    return SedovSweepResult(outcomes=outcomes, table_i=table_i)
+            table_i.append(pair[1])
+    return SedovSweepResult(
+        outcomes=outcomes, table_i=table_i, failures=failures, executor=report
+    )

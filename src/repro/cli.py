@@ -17,13 +17,19 @@ Subcommands mirror the evaluation section:
 The sweep subcommands (``sedov``, ``scalebench``, ``resilience``) take
 ``--jobs N`` to shard their independent cells across a process pool
 (``--jobs 0`` = one worker per CPU); results are bit-identical to the
-default serial run.
+default serial run.  They also take the supervised-executor flags —
+``--timeout-s S`` (per-cell wall-clock kill + retry), ``--retries N``
+(per-cell budget before quarantine), ``--journal DIR`` (crash-safe
+sweep journal, also via ``$REPRO_SWEEP_JOURNAL``), and ``--resume``
+(skip journaled cells after an interruption).  Any of them routes the
+sweep through :mod:`repro.perf.supervisor`.
 
 Examples::
 
     python -m repro sedov --scales 512 1024 --steps 1500 --jobs 4
     python -m repro place --policy cplx:50 --blocks 2048 --ranks 512
     python -m repro scalebench --scales 512 2048 8192
+    python -m repro scalebench --jobs 4 --journal runs/journal --resume
     python -m repro bench --profile smoke --baseline benchmarks/BENCH_baseline.json
     python -m repro query runs/telemetry \\
         "SELECT rank, mean(comm_s) WHERE step >= 900 GROUP BY rank" --explain
@@ -53,6 +59,27 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1, metavar="N",
             help="worker processes for independent cells (0 = one per "
             "CPU; default 1 = serial; results are bit-identical)",
+        )
+        sp.add_argument(
+            "--timeout-s", type=float, default=None, metavar="S",
+            help="per-cell wall-clock timeout: a cell running longer is "
+            "killed and retried (supervised executor)",
+        )
+        sp.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="per-cell retry budget before quarantine (default 2 "
+            "when the supervised executor is active)",
+        )
+        sp.add_argument(
+            "--journal", metavar="DIR", default=None,
+            help="crash-safe sweep journal directory (also via "
+            "$REPRO_SWEEP_JOURNAL); completed cells survive Ctrl-C / "
+            "kill -9 and are skipped on --resume",
+        )
+        sp.add_argument(
+            "--resume", action="store_true",
+            help="resume an interrupted sweep from its journal "
+            "(requires --journal or $REPRO_SWEEP_JOURNAL)",
         )
 
     s = sub.add_parser("sedov", help="Fig. 6 Sedov policy sweep")
@@ -164,6 +191,55 @@ def _parse_transport(spec: Optional[str]):
     return NO_TRANSPORT_FAULTS if spec is None else parse_transport_spec(spec)
 
 
+#: env fallback for ``--journal DIR``
+JOURNAL_ENV = "REPRO_SWEEP_JOURNAL"
+
+
+def _supervisor_config(args):
+    """Build a :class:`SupervisorConfig` from the CLI flags.
+
+    Returns ``None`` when no supervisor flag is set (the sweep keeps
+    its historical bare execution path) and raises :class:`ValueError`
+    for ``--resume`` without a journal.
+    """
+    import os
+
+    from .perf.supervisor import SupervisorConfig
+
+    journal = args.journal or os.environ.get(JOURNAL_ENV) or None
+    if args.resume and journal is None:
+        raise ValueError(
+            "--resume requires --journal DIR (or $REPRO_SWEEP_JOURNAL)"
+        )
+    if args.timeout_s is None and args.retries is None and journal is None:
+        return None
+    kwargs = {}
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    return SupervisorConfig(
+        timeout_s=args.timeout_s,
+        journal_dir=journal,
+        resume=args.resume,
+        **kwargs,
+    )
+
+
+def _print_supervised(report) -> None:
+    """Executor summary block shared by the sweep subcommands."""
+    print()
+    print(report.summary_line())
+    for f in report.failures:
+        print(
+            f"QUARANTINED cell {f.index} "
+            f"({f.kind} after {f.attempts} attempt(s)): {f.error} "
+            f"[item={f.item_repr}]"
+        )
+    if report.journal_path is not None:
+        print(f"journal: {report.journal_path} "
+              f"(events queryable: repro query {report.journal_path}/telemetry "
+              f'"SELECT kind, count(cell) FROM events GROUP BY kind")')
+
+
 def _cmd_sedov(args) -> int:
     import os
 
@@ -173,6 +249,11 @@ def _cmd_sedov(args) -> int:
 
     if args.traj_cache is not None:
         os.environ[CACHE_ENV] = args.traj_cache
+    try:
+        supervise = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_sedov_sweep(
         SedovSweepConfig(
             scales=tuple(args.scales),
@@ -183,6 +264,7 @@ def _cmd_sedov(args) -> int:
             driver=DriverConfig(transport=_parse_transport(args.transport_faults)),
         ),
         jobs=args.jobs,
+        supervise=supervise,
     )
     print(result.table_i_text())
     print()
@@ -207,6 +289,9 @@ def _cmd_sedov(args) -> int:
         for o in result.outcomes:
             print(f"\n[{o.scale} ranks · {o.policy_label}]")
             print(o.profile.report())
+    if result.executor is not None:
+        _print_supervised(result.executor)
+        print(f"result digest: {result.digest()}")
     return 0
 
 
@@ -223,15 +308,34 @@ def _cmd_commbench(args) -> int:
 
 
 def _cmd_scalebench(args) -> int:
-    from .bench import ScalebenchConfig, makespan_table, overhead_table, run_scalebench
-
-    rows = run_scalebench(
-        ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats),
-        jobs=args.jobs,
+    from .bench import (
+        ScalebenchConfig,
+        makespan_table,
+        overhead_table,
+        run_scalebench,
+        run_scalebench_supervised,
+        scalebench_digest,
     )
+
+    try:
+        supervise = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats)
+    report = None
+    if supervise is not None:
+        result = run_scalebench_supervised(config, jobs=args.jobs,
+                                           supervise=supervise)
+        rows, report = result.rows, result.executor
+    else:
+        rows = run_scalebench(config, jobs=args.jobs)
     print(makespan_table(rows))
     print()
     print(overhead_table(rows))
+    if report is not None:
+        _print_supervised(report)
+    print(f"result digest: {scalebench_digest(rows)}")
     return 0
 
 
@@ -281,6 +385,11 @@ def _cmd_resilience(args) -> int:
         run_resilience_experiment,
     )
 
+    try:
+        supervise = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_resilience_experiment(
         ResilienceExperimentConfig(
             n_ranks=args.ranks,
@@ -298,6 +407,7 @@ def _cmd_resilience(args) -> int:
             profile=args.profile,
         ),
         jobs=args.jobs,
+        supervise=supervise,
     )
     print(result.report())
     if result.profiles:

@@ -1,10 +1,18 @@
 """Performance subsystem: sweep parallelism, epoch caching, benchmarking.
 
-Three layers, each usable on its own:
+The layers, each usable on its own:
 
 * :mod:`repro.perf.executor` — a process-pool sweep executor with a
   deterministic ordered merge, used by ``run_sedov_sweep``,
   ``run_scalebench`` and the resilience experiment (``--jobs N``);
+* :mod:`repro.perf.supervisor` — the supervised execution layer behind
+  the pool: worker-crash respawn + retry with exponential backoff,
+  per-cell wall-clock timeouts, quarantine of poison cells
+  (:class:`CellFailure`), structured executor events/counters, and
+  chaos injection via ``REPRO_CHAOS``;
+* :mod:`repro.perf.journal` — the crash-safe on-disk sweep journal
+  (atomic checksummed per-cell records keyed by a config content hash)
+  that makes interrupted sweeps resumable (``--resume``);
 * :mod:`repro.perf.cache` — :class:`PatternCache`, the epoch-pipeline
   cache reusing :class:`~repro.simnet.runtime.ExchangePattern`
   structure (and message statistics) across epochs whose
@@ -16,16 +24,31 @@ Three layers, each usable on its own:
   full experiment stack).
 
 This package sits *below* the engine in the import graph: only the
-light modules (``cache``, ``executor``) are imported here so that
-``repro.engine`` can depend on :class:`PatternCache` without cycles.
+light modules (``cache``, ``executor``, ``supervisor``, ``journal``)
+are imported here so that ``repro.engine`` can depend on
+:class:`PatternCache` without cycles.
 """
 
 from .cache import PatternCache, PatternCacheStats
-from .executor import effective_jobs, parallel_map
+from .executor import CellExecutionError, effective_jobs, parallel_map
+from .journal import SweepJournal, sweep_key
+from .supervisor import (
+    CellFailure,
+    SupervisedReport,
+    SupervisorConfig,
+    supervised_map,
+)
 
 __all__ = [
+    "CellExecutionError",
+    "CellFailure",
     "PatternCache",
     "PatternCacheStats",
+    "SupervisedReport",
+    "SupervisorConfig",
+    "SweepJournal",
     "effective_jobs",
     "parallel_map",
+    "supervised_map",
+    "sweep_key",
 ]

@@ -11,6 +11,10 @@ Times the hot paths the repo's performance claims rest on —
   and on (the cached-vs-uncached headline);
 * **sweep executor**: a small Sedov sweep serial vs ``--jobs 4`` (the
   serial-vs-parallel headline; equal on a single-core host);
+* **executor overhead**: the supervised pool vs the bare
+  ``ProcessPoolExecutor`` on identical fault-free cells — the price of
+  crash recovery, timeouts and quarantine when nothing goes wrong
+  (gated at ≤5% in the smoke tests);
 * **telemetry queries**: a selective planned query over a partitioned
   on-disk dataset (zone-map pruning + projection pushdown) vs the naive
   read-everything-then-filter scan, plus a full-dataset grouped
@@ -62,6 +66,7 @@ PROFILES: Dict[str, Dict] = {
         "epoch_steps": 120,
         "epoch_repeats": 2,
         "sweep": None,
+        "executor": {"cells": 8, "jobs": 2, "repeats": 5, "work": 48},
         "telemetry": {"partitions": 12, "rows_per_partition": 4_000, "repeats": 3},
     },
     "quick": {
@@ -79,6 +84,7 @@ PROFILES: Dict[str, Dict] = {
             "policies": ("baseline", "cplx:50"),
             "jobs": 4,
         },
+        "executor": {"cells": 16, "jobs": 4, "repeats": 3, "work": 48},
         "telemetry": {"partitions": 16, "rows_per_partition": 20_000, "repeats": 5},
     },
     "full": {
@@ -96,6 +102,7 @@ PROFILES: Dict[str, Dict] = {
             "policies": ("baseline", "cplx:0", "cplx:50", "cplx:100"),
             "jobs": 4,
         },
+        "executor": {"cells": 32, "jobs": 4, "repeats": 5, "work": 32},
         "telemetry": {"partitions": 32, "rows_per_partition": 50_000, "repeats": 5},
     },
 }
@@ -259,6 +266,77 @@ def _bench_sweep(
     )
 
 
+def _overhead_cell(args) -> float:
+    """A deterministic tens-of-ms numpy cell for the executor benchmark.
+
+    Top level so it pickles into worker processes; the seed is the cell
+    index, so supervised and bare runs compute identical values.
+    """
+    index, work = args
+    rng = np.random.default_rng(1000 + index)
+    acc = 0.0
+    for _ in range(work):
+        m = rng.random((160, 160))
+        acc += float(np.linalg.eigvalsh(m @ m.T)[-1])
+    return acc
+
+
+def _bench_executor(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    from .executor import _bare_pool_map
+    from .supervisor import SupervisorConfig, supervised_map
+
+    ep = params["executor"]
+    cells = [(i, ep["work"]) for i in range(ep["cells"])]
+    jobs, repeats = ep["jobs"], ep["repeats"]
+    sup_cfg = SupervisorConfig(retries=0)
+
+    def run_bare():
+        return _bare_pool_map(_overhead_cell, cells, jobs)
+
+    def run_sup():
+        return supervised_map(_overhead_cell, cells, jobs, config=sup_cfg)
+
+    # Sanity (and warmup): the supervised pool must merge the same
+    # values in the same order — the determinism contract the overhead
+    # is priced on.
+    if run_sup().results != run_bare():
+        raise RuntimeError("supervised/bare executor results diverged")
+    # Interleaved bare/supervised rounds, so host drift (thermal, other
+    # tenants) lands on both sides rather than biasing one block.
+    bare_times: List[float] = []
+    sup_times: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_bare()
+        bare_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_sup()
+        sup_times.append(time.perf_counter() - t0)
+
+    def summarize(times: List[float]) -> Dict:
+        return {
+            "median_s": statistics.median(times),
+            "min_s": min(times),
+            "mean_s": statistics.fmean(times),
+            "repeats": repeats,
+        }
+
+    bare, sup = summarize(bare_times), summarize(sup_times)
+    key = f"c{len(cells)}j{jobs}"
+    metrics[f"executor.bare_pool.{key}"] = bare
+    metrics[f"executor.supervised.{key}"] = sup
+    # min-of-repeats: the best case isolates fixed supervision cost from
+    # scheduler noise, which medians on a loaded host do not.
+    derived["executor.overhead_ratio"] = sup["min_s"] / bare["min_s"]
+    log(
+        f"executor ({len(cells)} cells, jobs={jobs}): bare "
+        f"{bare['min_s'] * 1e3:.1f} ms, supervised {sup['min_s'] * 1e3:.1f} ms "
+        f"({derived['executor.overhead_ratio']:.3f}x)"
+    )
+
+
 def _bench_telemetry(
     params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
 ) -> None:
@@ -367,6 +445,7 @@ def run_bench(
     _bench_mesh(params, metrics, log)
     _bench_epoch_loop(params, metrics, derived, log)
     _bench_sweep(params, metrics, derived, log)
+    _bench_executor(params, metrics, derived, log)
     _bench_telemetry(params, metrics, derived, log)
     return {"meta": _environment(profile), "metrics": metrics, "derived": derived}
 

@@ -19,28 +19,73 @@ Determinism contract:
   global RNG state, worker identity, or wall clock.
 
 ``jobs <= 1`` short-circuits to an in-process loop (no pool, no pickle
-round-trip), which is the default everywhere.
+round-trip), which is the default everywhere.  ``jobs > 1`` runs on the
+supervised worker pool (:mod:`repro.perf.supervisor`) in *strict* mode:
+same ordered merge, but a worker crash or cell exception surfaces as a
+:class:`CellExecutionError` naming the failing cell instead of an
+anonymous pool abort.  Sweeps that want retries, timeouts, quarantine,
+and the crash-safe journal call :func:`~repro.perf.supervisor.
+supervised_map` directly.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Sequence, TypeVar
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
-__all__ = ["effective_jobs", "parallel_map"]
+__all__ = ["CellExecutionError", "effective_jobs", "parallel_map"]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Operator override for the worker count (e.g. ``REPRO_JOBS=4`` in CI).
+#: When set and non-empty it wins over any ``--jobs`` value.
+JOBS_ENV = "REPRO_JOBS"
 
-def effective_jobs(jobs: int | None) -> int:
-    """Resolve a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+
+class CellExecutionError(RuntimeError):
+    """A sweep cell failed; carries *which* cell and why.
+
+    The bare pool used to propagate the worker exception with no
+    indication of the failing cell; this wraps it with the cell index
+    and the item's repr so a multi-hour sweep failure is diagnosable.
+    """
+
+    def __init__(self, index: int, item: object, cause: str) -> None:
+        self.index = index
+        self.item_repr = repr(item)[:300]
+        self.cause = cause
+        super().__init__(
+            f"sweep cell {index} failed: {cause} [item={self.item_repr}]"
+        )
+
+
+def effective_jobs(jobs: Optional[int], n_items: Optional[int] = None) -> int:
+    """Resolve a ``--jobs`` value: ``None``/``0`` means one per CPU.
+
+    A non-empty :data:`JOBS_ENV` (``REPRO_JOBS``) environment variable
+    overrides ``jobs`` outright — the operator's knob for forcing a
+    worker count across a whole pipeline without touching every flag.
+    When ``n_items`` is given, the result is capped at the cell count
+    (never below 1): spawning more workers than cells only burns fork
+    time.
+    """
+    env = os.environ.get(JOBS_ENV)
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError as exc:
+            raise ValueError(f"{JOBS_ENV}={env!r} is not an integer") from exc
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
+        n = os.cpu_count() or 1
+    elif jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
-    return jobs
+    else:
+        n = jobs
+    if n_items is not None:
+        n = min(n, max(n_items, 1))
+    return max(n, 1)
 
 
 def parallel_map(
@@ -51,13 +96,41 @@ def parallel_map(
     Results come back in item order (ordered merge), so the output is
     indistinguishable from ``[fn(it) for it in items]`` — which is
     exactly what runs when ``jobs <= 1`` or there is only one item.
-    A worker exception propagates to the caller (remaining cells are
-    cancelled by pool shutdown).
+    A failing cell — exception *or* worker death — raises
+    :class:`CellExecutionError` identifying the cell (remaining cells
+    are cancelled by pool shutdown).
     """
     cells: Sequence[T] = list(items)
-    n_jobs = effective_jobs(jobs)
+    n_jobs = effective_jobs(jobs, len(cells))
     if n_jobs <= 1 or len(cells) <= 1:
-        return [fn(it) for it in cells]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(cells))) as pool:
+        out: List[R] = []
+        for i, it in enumerate(cells):
+            try:
+                out.append(fn(it))
+            except Exception as exc:
+                raise CellExecutionError(
+                    i, it, f"{type(exc).__name__}: {exc}"
+                ) from exc
+        return out
+    from .supervisor import SupervisorConfig, supervised_map
+
+    report = supervised_map(
+        fn, cells, jobs=n_jobs,
+        config=SupervisorConfig(retries=0, timeout_s=None, strict=True),
+    )
+    return list(report.results)
+
+
+def _bare_pool_map(
+    fn: Callable[[T], R], items: Sequence[T], jobs: int
+) -> List[R]:
+    """The pre-supervisor bare ``ProcessPoolExecutor`` path.
+
+    Kept (unsupervised, abort-on-first-failure) as the reference
+    implementation the ``executor_overhead`` bench kernel compares the
+    supervised pool against.
+    """
+    cells = list(items)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
         futures = [pool.submit(fn, it) for it in cells]
         return [f.result() for f in futures]

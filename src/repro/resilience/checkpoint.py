@@ -33,6 +33,7 @@ import copy
 import dataclasses
 import hashlib
 import json
+import os
 import shutil
 from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Tuple
@@ -43,6 +44,7 @@ from ..mesh.geometry import BlockIndex
 from ..telemetry.columnar import (
     ColumnTable,
     CorruptTelemetryError,
+    fsync_dir,
     read_table,
     write_table,
 )
@@ -192,10 +194,16 @@ class DirectoryCheckpointStore:
         tmp.mkdir(parents=True)
         for name, table in ckpt.tables.items():
             write_table(table, tmp / f"{name}.rprc")
-        (tmp / "meta.json").write_text(json.dumps(meta))
+        with open(tmp / "meta.json", "w") as fh:
+            fh.write(json.dumps(meta))
+            fh.flush()
+            os.fsync(fh.fileno())
         # Publish: a snapshot directory without the .tmp suffix is, by
-        # contract, complete (the rename is the commit point).
+        # contract, complete (the rename is the commit point); the
+        # directory fsync makes the publication power-loss durable.
+        fsync_dir(tmp)
         tmp.replace(final)
+        fsync_dir(self.path)
         self._next_id += 1
         self.n_saved += 1
         for old in self._snapshot_ids()[: -self.keep]:

@@ -27,6 +27,7 @@ from ..amr.driver import DriverConfig, RunSummary
 from ..amr.sedov import SedovConfig, SedovEpoch, SedovWorkload
 from ..engine.hooks import PhaseProfilerHook
 from ..perf.executor import parallel_map
+from ..perf.supervisor import SupervisorConfig, supervised_map
 from ..simnet.cluster import Cluster
 from ..simnet.faults import (
     NO_TRANSPORT_FAULTS,
@@ -239,6 +240,7 @@ def _run_experiment_arm(args) -> tuple:
 def run_resilience_experiment(
     config: ResilienceExperimentConfig = ResilienceExperimentConfig(),
     jobs: int = 1,
+    supervise: Optional[SupervisorConfig] = None,
 ) -> ResilienceExperimentResult:
     """Run the three arms (plus an optional determinism re-run).
 
@@ -246,11 +248,32 @@ def run_resilience_experiment(
     (``jobs=0`` = one worker per CPU); every arm re-derives its
     stochastic streams from the experiment config, so the parallel
     results are bit-identical to the serial ones.
+
+    With ``supervise`` set, arms run on the supervised executor (crash
+    respawn, retries, timeouts, resumable journal).  Unlike sweeps,
+    every arm is *required* — a quarantined arm makes the derived
+    numbers meaningless, so it raises :class:`RuntimeError` instead of
+    returning a partial result.
     """
     arms = ["healthy", "unmitigated", "resilient"]
     if config.check_determinism:
         arms.append("recheck")
-    results = parallel_map(_run_experiment_arm, [(config, a) for a in arms], jobs)
+    items = [(config, a) for a in arms]
+    if supervise is not None:
+        report = supervised_map(_run_experiment_arm, items, jobs, config=supervise)
+        quarantined = report.failures
+        if quarantined:
+            detail = "; ".join(
+                f"{arms[f.index]}: {f.kind} after {f.attempts} attempt(s)"
+                f" ({f.error})"
+                for f in quarantined
+            )
+            raise RuntimeError(
+                f"resilience experiment arm(s) quarantined: {detail}"
+            )
+        results = report.results
+    else:
+        results = parallel_map(_run_experiment_arm, items, jobs)
     summaries = {arm: summary for arm, (summary, _) in zip(arms, results)}
     profiles: Optional[Dict[str, PhaseProfilerHook]] = (
         {

@@ -32,11 +32,34 @@ import numpy as np
 __all__ = [
     "ColumnTable",
     "CorruptTelemetryError",
+    "fsync_dir",
     "write_table",
     "read_table",
     "read_stats",
     "read_schema",
 ]
+
+
+def fsync_dir(path: "str | Path") -> None:
+    """fsync a directory, durably committing renames inside it.
+
+    ``rename`` makes a write *atomic* but not *durable*: after a power
+    loss the directory entry itself can be lost unless the directory is
+    fsynced too.  Journals and checkpoints call this after every
+    rename-into-place.  Platforms whose directory handles reject fsync
+    (some network filesystems, Windows) are silently tolerated — the
+    rename is still atomic there.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 _MAGIC = b"RPRC01\n"
 _SUPPORTED_KINDS = ("i", "u", "f", "b")
@@ -218,9 +241,10 @@ def write_table(table: ColumnTable, path: str | Path) -> int:
         payloads.append(raw)
         offset += len(raw)
     header = json.dumps({"n_rows": table.n_rows, "columns": meta_cols}).encode()
-    # Write-to-temp + atomic rename: readers never observe a torn file
-    # (a crash mid-write leaves the old file intact, at worst plus a
-    # stray .tmp that the next write overwrites).
+    # Write-to-temp + atomic rename + directory fsync: readers never
+    # observe a torn file (a crash mid-write leaves the old file intact,
+    # at worst plus a stray .tmp that the next write overwrites), and
+    # the rename itself survives a power-loss-style interruption.
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as fh:
         fh.write(_MAGIC)
@@ -231,6 +255,7 @@ def write_table(table: ColumnTable, path: str | Path) -> int:
         fh.flush()
         os.fsync(fh.fileno())
     tmp.replace(path)
+    fsync_dir(path.parent)
     return len(_MAGIC) + 4 + len(header) + offset
 
 

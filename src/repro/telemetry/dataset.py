@@ -21,12 +21,27 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .columnar import ColumnTable, read_schema, read_stats, write_table
+from .columnar import ColumnTable, fsync_dir, read_schema, read_stats, write_table
 from .plan import ColumnPredicate
 
 __all__ = ["Predicate", "TelemetryDataset"]
 
 _MANIFEST = "manifest.json"
+
+
+def _write_manifest(root: Path, manifest: dict) -> None:
+    """Atomic, fsynced manifest publish (same discipline as the
+    partition files — a torn manifest must not orphan a dataset)."""
+    import os
+
+    path = root / _MANIFEST
+    tmp = path.with_name(_MANIFEST + ".tmp")
+    with open(tmp, "w") as fh:
+        fh.write(json.dumps(manifest))
+        fh.flush()
+        os.fsync(fh.fileno())
+    tmp.replace(path)
+    fsync_dir(root)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -99,7 +114,7 @@ class TelemetryDataset:
         root = Path(root)
         root.mkdir(parents=True, exist_ok=True)
         manifest = {"partitions": []}
-        (root / _MANIFEST).write_text(json.dumps(manifest))
+        _write_manifest(root, manifest)
         return cls(root, manifest)
 
     @classmethod
@@ -139,7 +154,7 @@ class TelemetryDataset:
         self._manifest["partitions"].append(
             {"file": name, "label": label or f"part-{idx}", "n_rows": table.n_rows}
         )
-        (self.root / _MANIFEST).write_text(json.dumps(self._manifest))
+        _write_manifest(self.root, self._manifest)
         return name
 
     def read(

@@ -55,9 +55,20 @@ class TestRunBench:
         assert derived["telemetry.partitions_pruned_frac"] > 0.5
         assert derived["telemetry.pruning_speedup"] >= 2.0
 
+    def test_executor_overhead_gate(self, smoke_result):
+        metrics = smoke_result["metrics"]
+        names = {n.rsplit(".c", 1)[0] for n in metrics if n.startswith("executor.")}
+        assert names == {"executor.bare_pool", "executor.supervised"}
+        # The acceptance bar from the ISSUE: supervision (crash
+        # detection, retry bookkeeping, event accounting) must cost
+        # <= 5% on fault-free sweeps vs the bare pool.
+        assert smoke_result["derived"]["executor.overhead_ratio"] <= 1.05
+
     def test_profiles_cover_sweep_only_beyond_smoke(self):
         assert PROFILES["smoke"]["sweep"] is None
         assert PROFILES["quick"]["sweep"] is not None
+        for profile in PROFILES.values():
+            assert profile["executor"]["cells"] >= profile["executor"]["jobs"]
 
     def test_roundtrip_and_format(self, smoke_result, tmp_path):
         path = tmp_path / "BENCH_core.json"

@@ -15,7 +15,12 @@ import pytest
 from repro.bench.scalebench import ScalebenchConfig, run_scalebench
 from repro.bench.sedov_experiment import SedovSweepConfig, run_sedov_sweep
 from repro.engine.types import DriverConfig, RunSummary
-from repro.perf.executor import effective_jobs, parallel_map
+from repro.perf.executor import (
+    JOBS_ENV,
+    CellExecutionError,
+    effective_jobs,
+    parallel_map,
+)
 from repro.resilience.experiment import (
     ResilienceExperimentConfig,
     run_resilience_experiment,
@@ -38,6 +43,12 @@ def _double(x):
     return 2 * x
 
 
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * x
+
+
 class TestParallelMap:
     def test_serial_and_parallel_agree_in_order(self):
         items = list(range(7))
@@ -57,6 +68,41 @@ class TestParallelMap:
         assert effective_jobs(0) >= 1
         with pytest.raises(ValueError):
             effective_jobs(-2)
+
+    def test_effective_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert effective_jobs(1) == 3
+        assert effective_jobs(8) == 3
+        assert effective_jobs(None) == 3
+        monkeypatch.setenv(JOBS_ENV, "-1")
+        with pytest.raises(ValueError):
+            effective_jobs(1)
+
+    def test_effective_jobs_caps_at_cell_count(self, monkeypatch):
+        assert effective_jobs(8, n_items=3) == 3
+        assert effective_jobs(8, n_items=0) == 1
+        monkeypatch.setenv(JOBS_ENV, "16")
+        assert effective_jobs(1, n_items=5) == 5
+
+
+class TestCellExecutionError:
+    def test_serial_wraps_with_cell_context(self):
+        with pytest.raises(CellExecutionError) as exc_info:
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=1)
+        err = exc_info.value
+        assert err.index == 2
+        assert "cell 2" in str(err)
+        assert "3" in err.item_repr
+        assert "three is right out" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_pool_wraps_with_cell_context(self):
+        with pytest.raises(CellExecutionError) as exc_info:
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+        err = exc_info.value
+        assert err.index == 2
+        assert "cell 2" in str(err)
+        assert "ValueError" in str(err)
 
 
 class TestSedovSweepParity:
