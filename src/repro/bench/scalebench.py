@@ -154,6 +154,7 @@ def run_scalebench_supervised(
     config: ScalebenchConfig,
     jobs: int = 1,
     supervise: Optional[SupervisorConfig] = None,
+    on_event=None,
 ) -> ScalebenchResult:
     """:func:`run_scalebench` on the supervised executor.
 
@@ -172,6 +173,7 @@ def run_scalebench_supervised(
     report = supervised_map(
         _run_scalebench_cell, cells, jobs,
         config=supervise if supervise is not None else SupervisorConfig(),
+        on_event=on_event,
     )
     return ScalebenchResult(
         rows=[r for r in report.results if not isinstance(r, CellFailure)],

@@ -365,6 +365,7 @@ def run_sedov_sweep(
     config: SedovSweepConfig,
     jobs: int = 1,
     supervise: Optional[SupervisorConfig] = None,
+    on_event=None,
 ) -> SedovSweepResult:
     """Run the full sweep.  Trajectories are shared across policy arms.
 
@@ -388,7 +389,9 @@ def run_sedov_sweep(
         report = None
         failures: List[CellFailure] = []
     else:
-        report = supervised_map(_run_sweep_cell, cells, jobs, config=supervise)
+        report = supervised_map(
+            _run_sweep_cell, cells, jobs, config=supervise, on_event=on_event
+        )
         failures = report.failures
         pairs = [
             r if not isinstance(r, CellFailure) else None

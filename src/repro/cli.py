@@ -13,6 +13,15 @@ Subcommands mirror the evaluation section:
 * ``bench``      — perf-regression harness (``BENCH_core.json``)
 * ``query``      — SQL over an on-disk telemetry dataset (``--explain``
   shows the optimized plan and which partitions pruning skipped)
+* ``serve``      — multi-tenant job service: the same experiments as
+  ``sedov``/``scalebench``/``resilience``, submitted as JSON over a
+  local socket with priorities, per-tenant quotas, live SQL progress
+  queries, and cooperative cancellation (see ``docs/service.md``)
+
+The sweep subcommands and the service share one execution path: each
+subcommand builds a :class:`repro.service.JobSpec` and runs it through
+a :class:`repro.service.JobRunner`; output is byte-identical to the
+historical per-subcommand printing (pinned by the parity tests).
 
 The sweep subcommands (``sedov``, ``scalebench``, ``resilience``) take
 ``--jobs N`` to shard their independent cells across a process pool
@@ -182,13 +191,34 @@ def build_parser() -> argparse.ArgumentParser:
                    "scanned/pruned) instead of executing")
     q.add_argument("--max-rows", type=int, default=40, metavar="N",
                    help="row budget for printed results (default 40)")
+
+    sv = sub.add_parser(
+        "serve",
+        help="multi-tenant placement job service (line-delimited JSON "
+        "over a local TCP socket)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=7461,
+                    help="listen port (0 = ephemeral, printed at start)")
+    sv.add_argument("--journal-root", metavar="DIR", default=".repro-service",
+                    help="per-job journals + cancel flags live here")
+    sv.add_argument("--max-active", type=int, default=2,
+                    help="concurrent running jobs across all tenants")
+    sv.add_argument("--tenant-active", type=int, default=1,
+                    help="concurrent running jobs per tenant")
+    sv.add_argument("--max-queued", type=int, default=64,
+                    help="admission limit on queued jobs overall")
+    sv.add_argument("--tenant-queued", type=int, default=8,
+                    help="admission limit on queued jobs per tenant")
+    sv.add_argument("--traj-cache", metavar="DIR", default=None,
+                    help="shared on-disk Sedov trajectory cache for all "
+                    "tenants (LRU-pruned after each job)")
+    sv.add_argument("--traj-cache-entries", type=int, default=32,
+                    help="trajectory-cache LRU budget")
+    sv.add_argument("--cancel-grace-s", type=float, default=30.0,
+                    help="seconds in-flight cells may drain after cancel "
+                    "before their workers are killed")
     return p
-
-
-def _parse_transport(spec: Optional[str]):
-    from .simnet.faults import NO_TRANSPORT_FAULTS, parse_transport_spec
-
-    return NO_TRANSPORT_FAULTS if spec is None else parse_transport_spec(spec)
 
 
 #: env fallback for ``--journal DIR``
@@ -224,75 +254,47 @@ def _supervisor_config(args):
     )
 
 
-def _print_supervised(report) -> None:
-    """Executor summary block shared by the sweep subcommands."""
-    print()
-    print(report.summary_line())
-    for f in report.failures:
-        print(
-            f"QUARANTINED cell {f.index} "
-            f"({f.kind} after {f.attempts} attempt(s)): {f.error} "
-            f"[item={f.item_repr}]"
-        )
-    if report.journal_path is not None:
-        print(f"journal: {report.journal_path} "
-              f"(events queryable: repro query {report.journal_path}/telemetry "
-              f'"SELECT kind, count(cell) FROM events GROUP BY kind")')
+def _run_spec(kind: str, params: dict, args) -> int:
+    """Shared sweep-subcommand body: build a spec, run it, print it.
 
+    ``JobRunner.run`` returns the full report as one string whose bytes
+    equal what the historical per-line printing produced (pinned by
+    ``tests/test_cli_parity.py``), plus the experiment's exit code.
+    """
+    from .service import JobRunner, spec_from_params
 
-def _cmd_sedov(args) -> int:
-    import os
-
-    from .bench import SedovSweepConfig, run_sedov_sweep
-    from .engine.types import DriverConfig
-    from .perf.trajcache import CACHE_ENV
-
-    if args.traj_cache is not None:
-        os.environ[CACHE_ENV] = args.traj_cache
     try:
         supervise = _supervisor_config(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = run_sedov_sweep(
-        SedovSweepConfig(
-            scales=tuple(args.scales),
-            policies=tuple(args.policies),
-            steps=args.steps,
-            paper_scale=args.paper_scale,
-            profile=args.profile,
-            driver=DriverConfig(transport=_parse_transport(args.transport_faults)),
-        ),
-        jobs=args.jobs,
-        supervise=supervise,
+    spec = spec_from_params(
+        kind, params, jobs=args.jobs, supervise=supervise
     )
-    print(result.table_i_text())
-    print()
-    print(result.fig6a_table())
-    print()
-    print(result.fig6b_table())
-    print()
-    print(result.fig6c_table())
-    for scale in result.scales():
-        best = result.best_label(scale)
-        print(f"\n{scale} ranks: best {best} "
-              f"({result.reduction_vs_baseline(scale, best):.1%} vs baseline)")
-    if args.transport_faults is not None:
-        print("\ntransport (unreliable fabric):")
-        for o in result.outcomes:
-            s = o.summary
-            print(f"  {o.scale} ranks · {o.policy_label:<10} "
-                  f"retrans={s.n_retransmits} drops={s.n_transport_drops} "
-                  f"rollback={s.n_rollbacks} degraded={s.n_degraded_epochs} "
-                  f"stall={s.transport_stall_s:.3f}s")
-    if args.profile:
-        for o in result.outcomes:
-            print(f"\n[{o.scale} ranks · {o.policy_label}]")
-            print(o.profile.report())
-    if result.executor is not None:
-        _print_supervised(result.executor)
-        print(f"result digest: {result.digest()}")
-    return 0
+    result = JobRunner().run(spec)
+    sys.stdout.write(result.text)
+    return result.exit_code
+
+
+def _cmd_sedov(args) -> int:
+    import os
+
+    from .perf.trajcache import CACHE_ENV
+
+    if args.traj_cache is not None:
+        os.environ[CACHE_ENV] = args.traj_cache
+    return _run_spec(
+        "sedov",
+        {
+            "scales": args.scales,
+            "policies": args.policies,
+            "steps": args.steps,
+            "paper_scale": args.paper_scale,
+            "profile": args.profile,
+            "transport_faults": args.transport_faults,
+        },
+        args,
+    )
 
 
 def _cmd_commbench(args) -> int:
@@ -308,35 +310,11 @@ def _cmd_commbench(args) -> int:
 
 
 def _cmd_scalebench(args) -> int:
-    from .bench import (
-        ScalebenchConfig,
-        makespan_table,
-        overhead_table,
-        run_scalebench,
-        run_scalebench_supervised,
-        scalebench_digest,
+    return _run_spec(
+        "scalebench",
+        {"scales": args.scales, "repeats": args.repeats},
+        args,
     )
-
-    try:
-        supervise = _supervisor_config(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    config = ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats)
-    report = None
-    if supervise is not None:
-        result = run_scalebench_supervised(config, jobs=args.jobs,
-                                           supervise=supervise)
-        rows, report = result.rows, result.executor
-    else:
-        rows = run_scalebench(config, jobs=args.jobs)
-    print(makespan_table(rows))
-    print()
-    print(overhead_table(rows))
-    if report is not None:
-        _print_supervised(report)
-    print(f"result digest: {scalebench_digest(rows)}")
-    return 0
 
 
 def _cmd_tuning(_args) -> int:
@@ -380,41 +358,51 @@ def _cmd_place(args) -> int:
 
 
 def _cmd_resilience(args) -> int:
-    from .resilience.experiment import (
-        ResilienceExperimentConfig,
-        run_resilience_experiment,
+    return _run_spec(
+        "resilience",
+        {
+            "ranks": args.ranks,
+            "steps": args.steps,
+            "policy": args.policy,
+            "seed": args.seed,
+            "crash_step": args.crash_step,
+            "crash_node": args.crash_node,
+            "throttle_step": args.throttle_step,
+            "throttle_nodes": args.throttle_nodes,
+            "throttle_factor": args.throttle_factor,
+            "transport_faults": args.transport_faults,
+            "checkpoint_interval": args.checkpoint_interval,
+            "check_determinism": not args.no_determinism_check,
+            "profile": args.profile,
+        },
+        args,
     )
 
-    try:
-        supervise = _supervisor_config(args)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    result = run_resilience_experiment(
-        ResilienceExperimentConfig(
-            n_ranks=args.ranks,
-            steps=args.steps,
-            policy=args.policy,
-            seed=args.seed,
-            crash_step=None if args.crash_step < 0 else args.crash_step,
-            crash_node=args.crash_node,
-            throttle_step=None if args.throttle_step < 0 else args.throttle_step,
-            throttle_nodes=tuple(args.throttle_nodes),
-            throttle_factor=args.throttle_factor,
-            transport=_parse_transport(args.transport_faults),
-            checkpoint_interval_epochs=args.checkpoint_interval,
-            check_determinism=not args.no_determinism_check,
-            profile=args.profile,
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .service.queue import QuotaConfig
+    from .service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        journal_root=args.journal_root,
+        quotas=QuotaConfig(
+            max_active=args.max_active,
+            max_active_per_tenant=args.tenant_active,
+            max_queued=args.max_queued,
+            max_queued_per_tenant=args.tenant_queued,
         ),
-        jobs=args.jobs,
-        supervise=supervise,
+        traj_cache=args.traj_cache,
+        traj_cache_entries=args.traj_cache_entries,
+        cancel_grace_s=args.cancel_grace_s,
     )
-    print(result.report())
-    if result.profiles:
-        for arm, profiler in result.profiles.items():
-            print(f"\n[{arm}]")
-            print(profiler.report())
-    return 0 if result.deterministic in (True, None) else 1
+    try:
+        return asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_bench(args) -> int:
@@ -486,6 +474,7 @@ _COMMANDS = {
     "policies": _cmd_policies,
     "bench": _cmd_bench,
     "query": _cmd_query,
+    "serve": _cmd_serve,
 }
 
 

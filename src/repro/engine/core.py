@@ -44,7 +44,7 @@ from ..amr.redistribution import (
 )
 from ..core.metrics import message_stats
 from ..core.policy import PlacementPolicy
-from ..perf.cache import maybe_cache
+from ..perf.cache import maybe_cache, shared_cache_handle
 from ..simnet.cluster import Cluster
 from ..simnet.faults import FaultModel
 from ..simnet.runtime import BSPModel, ExchangePattern
@@ -91,6 +91,17 @@ class EpochEngine:
             exchange_rounds=config.exchange_rounds,
         )
         self.hooks = list(hooks)
+        if config.cancel_path:
+            from ..perf.cancel import CancelToken
+            from .hooks import CancellationHook
+
+            # Appended last so an epoch's own hooks (telemetry spool,
+            # checkpoint) complete before a cancel abandons the run.
+            self.hooks.append(CancellationHook(CancelToken(config.cancel_path)))
+        if config.pattern_cache_shared and config.pattern_cache_size > 0:
+            pattern_cache = shared_cache_handle(config.pattern_cache_size)
+        else:
+            pattern_cache = maybe_cache(config.pattern_cache_size)
         self.ctx = EngineContext(
             policy=policy,
             config=config,
@@ -102,7 +113,7 @@ class EpochEngine:
             tracker=BlockCostTracker(),
             rng=np.random.default_rng(config.seed),
             alive=list(range(cluster.n_nodes)),
-            pattern_cache=maybe_cache(config.pattern_cache_size),
+            pattern_cache=pattern_cache,
         )
 
     # ------------------------------------------------------------------ #

@@ -35,6 +35,7 @@ from .context import EngineContext
 from .types import RunSummary
 
 __all__ = [
+    "CancellationHook",
     "EpochHook",
     "TelemetryHook",
     "TelemetrySpoolHook",
@@ -278,3 +279,36 @@ class PhaseProfilerHook(EpochHook):
         if self.run_host_s:
             lines.append(f"engine host total: {self.run_host_s:.4f}s")
         return "\n".join(lines)
+
+
+class CancellationHook(EpochHook):
+    """Cooperative cancellation at epoch boundaries.
+
+    Polls a :class:`~repro.perf.cancel.CancelToken` (a cross-process
+    flag file) before the first epoch and after every completed epoch,
+    raising :class:`~repro.perf.cancel.JobCancelled` when it is set —
+    i.e. the run stops within one epoch of the request, at a state
+    boundary where all accumulators are consistent.  The engine attaches
+    this hook automatically when ``DriverConfig.cancel_path`` is set, so
+    a cancel reaches runs inside pool worker processes with no extra
+    plumbing.  Fires last in the stack: the epoch's own hooks (journal,
+    telemetry spool, checkpoints) have already run when it raises.
+    """
+
+    def __init__(self, token) -> None:
+        self.token = token
+
+    def _check(self, ctx: EngineContext) -> None:
+        if self.token.is_set():
+            from ..perf.cancel import JobCancelled
+
+            raise JobCancelled(
+                f"run cancelled at epoch {ctx.cursor}/{len(ctx.epochs)} "
+                f"(cancel flag: {self.token.path})"
+            )
+
+    def on_run_start(self, ctx: EngineContext) -> None:
+        self._check(ctx)
+
+    def on_epoch_end(self, ctx: EngineContext, epoch) -> None:
+        self._check(ctx)

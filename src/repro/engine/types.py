@@ -56,6 +56,23 @@ class DriverConfig:
     #: runs — serial or parallel — bit-identical in wall_s.
     placement_charge_s: "float | None" = None
     seed: int = 0
+    #: use the process-wide shared :class:`~repro.perf.cache.
+    #: SharedPatternCache` instead of a private per-run cache — the
+    #: multi-tenant service mode, where concurrent jobs pool one
+    #: content-keyed store.  Hits are bit-identical either way, so this
+    #: is excluded from repr/compare: it must never change a sweep key,
+    #: a journal key, or a digest.
+    pattern_cache_shared: bool = dataclasses.field(
+        default=False, repr=False, compare=False
+    )
+    #: cancel-flag file consumed by a :class:`~repro.engine.hooks.
+    #: CancellationHook` the engine attaches automatically (cooperative
+    #: cancellation at epoch boundaries).  Excluded from repr/compare
+    #: for the same reason: a resumed run must hash to the same sweep
+    #: key whether or not a cancel flag is configured.
+    cancel_path: "str | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclasses.dataclass

@@ -68,6 +68,10 @@ PROFILES: Dict[str, Dict] = {
         "sweep": None,
         "executor": {"cells": 8, "jobs": 2, "repeats": 5, "work": 48},
         "telemetry": {"partitions": 12, "rows_per_partition": 4_000, "repeats": 3},
+        "service": {
+            "steps": 30, "policies": ("baseline",), "repeats": 2,
+            "rpc_repeats": 50,
+        },
     },
     "quick": {
         "policy_ranks": (2048, 8192),
@@ -86,6 +90,10 @@ PROFILES: Dict[str, Dict] = {
         },
         "executor": {"cells": 16, "jobs": 4, "repeats": 3, "work": 48},
         "telemetry": {"partitions": 16, "rows_per_partition": 20_000, "repeats": 5},
+        "service": {
+            "steps": 80, "policies": ("baseline", "cplx:50"), "repeats": 3,
+            "rpc_repeats": 100,
+        },
     },
     "full": {
         "policy_ranks": (8192, 32768),
@@ -104,6 +112,10 @@ PROFILES: Dict[str, Dict] = {
         },
         "executor": {"cells": 32, "jobs": 4, "repeats": 5, "work": 32},
         "telemetry": {"partitions": 32, "rows_per_partition": 50_000, "repeats": 5},
+        "service": {
+            "steps": 120, "policies": ("baseline", "cplx:0", "cplx:50"),
+            "repeats": 3, "rpc_repeats": 200,
+        },
     },
 }
 
@@ -427,6 +439,114 @@ def _bench_telemetry(
         )
 
 
+def _bench_service(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    """Price the job layer: spec dispatch vs the direct entry point, and
+    the socket round trip of the ``repro serve`` front end."""
+    import asyncio
+    import tempfile
+    import threading
+
+    from ..bench.sedov_experiment import run_sedov_sweep
+    from ..service import JobRunner, spec_from_params
+    from ..service.client import ServiceClient
+    from ..service.server import JobService, ServiceConfig
+
+    sp = params["service"]
+    repeats = sp["repeats"]
+    spec = spec_from_params(
+        "sedov",
+        {"scales": [512], "steps": sp["steps"],
+         "policies": list(sp["policies"])},
+    )
+    runner = JobRunner()
+
+    def run_direct():
+        return run_sedov_sweep(spec.config, jobs=1)
+
+    def run_job():
+        return runner.run(spec)
+
+    # Warmup + sanity: the job layer is plumbing around the same entry
+    # point, so its digest must match the direct sweep's.
+    direct_digest = run_direct().digest()
+    if run_job().digest != direct_digest:
+        raise RuntimeError("job-layer digest diverged from direct sweep")
+    # Interleaved rounds, as in the executor benchmark, so host drift
+    # lands on both sides.
+    direct_times: List[float] = []
+    job_times: List[float] = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_direct()
+        direct_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_job()
+        job_times.append(time.perf_counter() - t0)
+
+    def summarize(times: List[float]) -> Dict:
+        return {
+            "median_s": statistics.median(times),
+            "min_s": min(times),
+            "mean_s": statistics.fmean(times),
+            "repeats": repeats,
+        }
+
+    direct, job = summarize(direct_times), summarize(job_times)
+    key = f"s{sp['steps']}p{len(sp['policies'])}"
+    metrics[f"service.direct_sweep.{key}"] = direct
+    metrics[f"service.job_runner.{key}"] = job
+    derived["service.runner_overhead_ratio"] = job["min_s"] / direct["min_s"]
+
+    # Socket round trip: a live service on a background loop, timed
+    # pings over one connection — the per-verb protocol floor.
+    with tempfile.TemporaryDirectory() as root:
+        config = ServiceConfig(
+            port=0, journal_root=os.path.join(root, "svc")
+        )
+        service = JobService(config)
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def body():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(service.start())
+            started.set()
+            loop.run_until_complete(service.serve_forever())
+            loop.run_until_complete(service.close())
+            loop.close()
+
+        thread = threading.Thread(target=body, daemon=True)
+        thread.start()
+        if not started.wait(10):
+            raise RuntimeError("benchmark service did not start")
+        try:
+            with ServiceClient(*service.address) as client:
+                client.ping()  # warmup
+                ping_times: List[float] = []
+                for _ in range(sp["rpc_repeats"]):
+                    t0 = time.perf_counter()
+                    client.ping()
+                    ping_times.append(time.perf_counter() - t0)
+                client.shutdown()
+        finally:
+            thread.join(timeout=10)
+    metrics["service.rpc_ping"] = {
+        "median_s": statistics.median(ping_times),
+        "min_s": min(ping_times),
+        "mean_s": statistics.fmean(ping_times),
+        "repeats": sp["rpc_repeats"],
+    }
+    log(
+        f"service ({sp['steps']} steps, {len(sp['policies'])} policies): "
+        f"direct {direct['min_s'] * 1e3:.1f} ms, "
+        f"job layer {job['min_s'] * 1e3:.1f} ms "
+        f"({derived['service.runner_overhead_ratio']:.3f}x); "
+        f"rpc ping {statistics.median(ping_times) * 1e6:.0f} us"
+    )
+
+
 # ---------------------------------------------------------------------- #
 # entry points
 # ---------------------------------------------------------------------- #
@@ -447,6 +567,7 @@ def run_bench(
     _bench_sweep(params, metrics, derived, log)
     _bench_executor(params, metrics, derived, log)
     _bench_telemetry(params, metrics, derived, log)
+    _bench_service(params, metrics, derived, log)
     return {"meta": _environment(profile), "metrics": metrics, "derived": derived}
 
 

@@ -35,7 +35,15 @@ from ..simnet.cluster import Cluster
 from ..simnet.machine import FabricSpec
 from ..simnet.runtime import ExchangePattern
 
-__all__ = ["PatternCache", "PatternCacheStats"]
+__all__ = [
+    "PatternCache",
+    "PatternCacheStats",
+    "PatternCacheHandle",
+    "SharedPatternCache",
+    "maybe_cache",
+    "shared_cache",
+    "shared_cache_handle",
+]
 
 
 @dataclasses.dataclass
@@ -144,3 +152,182 @@ class PatternCache:
 def maybe_cache(size: int) -> Optional[PatternCache]:
     """A :class:`PatternCache` of ``size`` entries, or ``None`` if ``size <= 0``."""
     return PatternCache(size) if size > 0 else None
+
+
+# ---------------------------------------------------------------------- #
+# process-wide shared cache (multi-tenant service mode)
+# ---------------------------------------------------------------------- #
+
+#: default entry budget of the process-wide shared store (tenants pool
+#: one LRU budget; raised to any handle's requested size if larger)
+SHARED_PATTERN_CACHE_SIZE = 64
+
+
+class SharedPatternCache:
+    """A thread-safe, *content-keyed* pattern cache shared across runs.
+
+    The per-run :class:`PatternCache` keys by object identity — correct
+    and cheap within one run, but useless across jobs: a second tenant's
+    sweep builds new graph/cluster objects for the same content.  The
+    shared store instead keys by a content fingerprint (graph edge
+    arrays + block set, assignment bytes, cluster spec, fabric), so two
+    tenants sweeping the same configuration share entries.  Hits remain
+    bit-identical: ``from_mesh``/``message_stats`` are pure functions of
+    exactly the fingerprinted content, and per-epoch ``loads`` are
+    recomputed on every hit as in :class:`PatternCache`.
+
+    Per-run attribution: the engine holds a :class:`PatternCacheHandle`
+    whose ``stats`` count only that run's lookups (surfaced per job and
+    per tenant in service job status), while ``self.stats`` aggregates
+    the whole process.
+    """
+
+    def __init__(self, maxsize: int = SHARED_PATTERN_CACHE_SIZE) -> None:
+        import threading
+
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Tuple, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = PatternCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def reserve(self, maxsize: int) -> None:
+        """Grow the entry budget to at least ``maxsize`` (never shrink)."""
+        with self._lock:
+            self.maxsize = max(self.maxsize, maxsize)
+
+    def handle(self) -> "PatternCacheHandle":
+        """A per-run view with private hit/miss counters."""
+        return PatternCacheHandle(self)
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _graph_fingerprint(graph) -> str:
+        """Content digest of a neighbor graph, memoized on the object."""
+        fp = getattr(graph, "_repro_content_fp", None)
+        if fp is None:
+            import hashlib
+
+            h = hashlib.sha256()
+            h.update(np.ascontiguousarray(graph.edges).tobytes())
+            h.update(np.ascontiguousarray(graph.kinds).tobytes())
+            for block in graph.blocks:
+                h.update(repr(block).encode())
+                h.update(b"\x00")
+            fp = h.hexdigest()
+            try:
+                graph._repro_content_fp = fp
+            except AttributeError:
+                pass               # slotted/frozen graph: recompute next time
+        return fp
+
+    @classmethod
+    def _key(
+        cls, graph, assignment: np.ndarray, cluster: Cluster, fabric: FabricSpec
+    ) -> Tuple:
+        return (
+            cls._graph_fingerprint(graph),
+            assignment.tobytes(),
+            cluster.n_ranks,
+            repr(cluster.machine),
+            cluster.node_speed_factor.tobytes(),
+            cluster.nodes_per_switch,
+            fabric,
+        )
+
+    def lookup(
+        self,
+        graph,
+        assignment: np.ndarray,
+        costs: np.ndarray,
+        cluster: Cluster,
+        fabric: FabricSpec,
+        stats: Optional[PatternCacheStats] = None,
+    ) -> Tuple[ExchangePattern, MessageStats]:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        key = self._key(graph, assignment, cluster, fabric)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+        if entry is not None:
+            self.stats.hits += 1
+            if stats is not None:
+                stats.hits += 1
+            loads = np.asarray(
+                np.bincount(assignment, weights=costs, minlength=cluster.n_ranks),
+                dtype=np.float64,
+            )
+            return dataclasses.replace(entry.pattern, loads=loads), entry.stats
+
+        # Compute outside the lock (the expensive part); a concurrent
+        # duplicate insert is harmless — both values are bit-identical.
+        pattern = ExchangePattern.from_mesh(graph, assignment, costs, cluster, fabric)
+        ms = message_stats(graph, assignment, cluster.ranks_per_node)
+        self.stats.misses += 1
+        if stats is not None:
+            stats.misses += 1
+        with self._lock:
+            self._entries[key] = _Entry(
+                graph=graph, cluster=cluster, pattern=pattern, stats=ms
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                if stats is not None:
+                    stats.evictions += 1
+        return pattern, ms
+
+
+class PatternCacheHandle:
+    """One run's view of a :class:`SharedPatternCache`.
+
+    Drop-in for :class:`PatternCache` at the engine's call sites
+    (``lookup(...)`` + ``.stats``), but lookups hit the shared store
+    while the counters stay private to this run.
+    """
+
+    def __init__(self, store: SharedPatternCache) -> None:
+        self.store = store
+        self.stats = PatternCacheStats()
+
+    def lookup(
+        self,
+        graph,
+        assignment: np.ndarray,
+        costs: np.ndarray,
+        cluster: Cluster,
+        fabric: FabricSpec,
+    ) -> Tuple[ExchangePattern, MessageStats]:
+        return self.store.lookup(
+            graph, assignment, costs, cluster, fabric, stats=self.stats
+        )
+
+
+_SHARED: Optional[SharedPatternCache] = None
+
+
+def shared_cache_handle(minsize: int = 1) -> PatternCacheHandle:
+    """A handle onto the process-wide shared store (created on first use)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = SharedPatternCache(max(SHARED_PATTERN_CACHE_SIZE, minsize))
+    else:
+        _SHARED.reserve(minsize)
+    return _SHARED.handle()
+
+
+def shared_cache() -> Optional[SharedPatternCache]:
+    """The process-wide shared store, if one has been created."""
+    return _SHARED

@@ -218,21 +218,28 @@ class SweepJournal:
     def telemetry_dir(self) -> Path:
         return self.dir / "telemetry"
 
-    def append_events(self, events: List, counters: Dict[str, int]) -> None:
+    def append_events(self, events: List, counters: Dict[str, int],
+                      start: int = 0) -> None:
         """Append this run segment's executor events as a telemetry
-        partition (queryable with ``repro query <dir>/telemetry``)."""
+        partition (queryable with ``repro query <dir>/telemetry``).
+
+        ``start`` is the global id of the first event in this batch, so
+        incremental (live) flushes keep ids monotonic across partitions.
+        """
         import numpy as np
 
         from ..telemetry.columnar import ColumnTable
         from ..telemetry.dataset import TelemetryDataset
 
+        if not events:
+            return
         if self.telemetry_dir.exists():
             ds = TelemetryDataset.open(self.telemetry_dir)
         else:
             ds = TelemetryDataset.create(self.telemetry_dir)
         table = ColumnTable(
             {
-                "event": np.arange(len(events), dtype=np.int64),
+                "event": np.arange(start, start + len(events), dtype=np.int64),
                 "cell": np.asarray([e.cell for e in events], dtype=np.int64),
                 "kind": np.asarray([e.code for e in events], dtype=np.int64),
                 "attempt": np.asarray([e.attempt for e in events], dtype=np.int64),

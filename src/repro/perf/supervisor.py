@@ -51,6 +51,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
+from .cancel import JobCancelled, maybe_token
 from .executor import CellExecutionError, effective_jobs
 from .journal import SweepJournal, sweep_key
 
@@ -80,6 +81,7 @@ EVENT_CODES: Dict[str, int] = {
     "retry": 4,
     "quarantine": 5,
     "resume_hit": 6,
+    "cancel": 7,
 }
 
 
@@ -104,6 +106,17 @@ class SupervisorConfig:
     strict: bool = False
     #: supervisor wake-up period for liveness/deadline checks
     poll_interval_s: float = 0.05
+    #: cooperative-cancel flag file (see :mod:`repro.perf.cancel`); the
+    #: supervisor polls it every wake-up and the engine's
+    #: CancellationHook polls the same file inside worker processes
+    cancel_path: Optional[str] = None
+    #: after a cancel, in-flight cells get this long to reach their next
+    #: epoch boundary before their workers are killed
+    cancel_grace_s: float = 30.0
+    #: spool executor events to the journal's telemetry dataset as they
+    #: happen (one partition per flush) instead of once per run segment —
+    #: the service mode, where a job's spool is live-queried mid-run
+    live_events: bool = False
 
     def __post_init__(self) -> None:
         if self.retries < 0:
@@ -112,6 +125,10 @@ class SupervisorConfig:
             raise ValueError(f"timeout_s must be > 0, got {self.timeout_s}")
         if self.resume and self.journal_dir is None:
             raise ValueError("resume=True requires journal_dir")
+        if self.cancel_grace_s <= 0:
+            raise ValueError(
+                f"cancel_grace_s must be > 0, got {self.cancel_grace_s}"
+            )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -382,14 +399,19 @@ class _Supervision:
     """Shared bookkeeping for one supervised sweep (pool or serial)."""
 
     def __init__(self, cells: Sequence, config: SupervisorConfig,
-                 journal: Optional[SweepJournal]) -> None:
+                 journal: Optional[SweepJournal],
+                 on_event: Optional[Callable[[ExecutorEvent], None]] = None,
+                 ) -> None:
         self.cells = cells
         self.config = config
         self.journal = journal
+        self.on_event = on_event
         self.t0 = time.monotonic()
         self.results: Dict[int, object] = {}
         self.attempts: Dict[int, int] = {}
         self.events: List[ExecutorEvent] = []
+        self.cancelled = False
+        self._flushed = 0              #: events already spooled to telemetry
         self.n_retries = 0
         self.n_crashes = 0
         self.n_timeouts = 0
@@ -398,12 +420,16 @@ class _Supervision:
         self.n_executed = 0
 
     def event(self, cell: int, kind: str, attempt: int, detail: str = "") -> None:
-        self.events.append(
-            ExecutorEvent(
-                t_s=time.monotonic() - self.t0, cell=cell, kind=kind,
-                attempt=attempt, detail=detail,
-            )
+        ev = ExecutorEvent(
+            t_s=time.monotonic() - self.t0, cell=cell, kind=kind,
+            attempt=attempt, detail=detail,
         )
+        self.events.append(ev)
+        if self.on_event is not None:
+            try:
+                self.on_event(ev)
+            except Exception:
+                pass               # progress streaming must never fail the sweep
 
     def resume_from_journal(self) -> None:
         if self.journal is None or not self.config.resume:
@@ -419,6 +445,20 @@ class _Supervision:
         self.event(index, "complete", self.attempts[index])
         if self.journal is not None:
             self.journal.record(index, result)
+            # Live spool: in service mode events become queryable (plan
+            # engine over <journal>/telemetry) while the sweep is still
+            # running, not only at the end.
+            if self.config.live_events:
+                self.flush_telemetry()
+
+    def cancel(self, cell: int, detail: str = "") -> None:
+        """Record the cancel and raise :class:`JobCancelled`."""
+        self.cancelled = True
+        self.event(cell, "cancel", self.attempts.get(cell, 0), detail)
+        raise JobCancelled(
+            f"sweep cancelled: {len(self.results)}/{len(self.cells)} "
+            f"cells completed"
+        )
 
     def backoff_s(self, attempt: int) -> float:
         return min(
@@ -450,9 +490,13 @@ class _Supervision:
         if self.config.strict:
             raise CellExecutionError(index, self.cells[index], detail)
         self.results[index] = failure
+        if self.config.live_events:
+            self.flush_telemetry()
         return None
 
     def report(self) -> SupervisedReport:
+        """The sweep report.  After a cancel, unfinished cells' slots are
+        ``None`` (a *partial* report — carried on the JobCancelled)."""
         counters = {
             "n_cells": len(self.cells),
             "n_executed": self.n_executed,
@@ -464,20 +508,26 @@ class _Supervision:
             "n_quarantined": sum(
                 1 for r in self.results.values() if isinstance(r, CellFailure)
             ),
+            "n_cancelled": (
+                len(self.cells) - len(self.results) if self.cancelled else 0
+            ),
         }
         return SupervisedReport(
-            results=[self.results[i] for i in range(len(self.cells))],
+            results=[self.results.get(i) for i in range(len(self.cells))],
             events=self.events,
             counters=counters,
             journal_path=self.journal.dir if self.journal is not None else None,
         )
 
     def flush_telemetry(self) -> None:
-        if self.journal is not None:
+        """Spool events recorded since the last flush (no-op journalless)."""
+        if self.journal is not None and self._flushed < len(self.events):
+            batch = self.events[self._flushed:]
             try:
-                self.journal.append_events(self.events, {})
+                self.journal.append_events(batch, {}, start=self._flushed)
             except OSError:
-                pass               # telemetry must never fail the sweep
+                return             # telemetry must never fail the sweep
+            self._flushed += len(batch)
 
 
 def _run_serial(fn, sup: _Supervision) -> None:
@@ -488,14 +538,21 @@ def _run_serial(fn, sup: _Supervision) -> None:
     *is* the worker), which is why the pool path is forced whenever a
     timeout is configured.
     """
+    token = maybe_token(sup.config.cancel_path)
     for index, item in enumerate(sup.cells):
         if index in sup.results:
             continue
         while True:
+            if token is not None and token.is_set():
+                sup.cancel(index, "cancel flag set before cell start")
             sup.attempts[index] = sup.attempts.get(index, 0) + 1
             try:
                 _maybe_inject_chaos(index, sup.attempts[index])
                 result = fn(item)
+            except JobCancelled as exc:
+                # The engine's CancellationHook fired mid-cell; never
+                # retried — a set flag would just re-cancel the retry.
+                sup.cancel(index, str(exc))
             except Exception as exc:
                 delay = sup.fail_attempt(
                     index, "error", f"{type(exc).__name__}: {exc}"
@@ -514,6 +571,7 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
     from multiprocessing import connection as mp_connection
 
     cfg = sup.config
+    token = maybe_token(cfg.cancel_path)
     ctx = mp.get_context()
     n_workers = min(n_jobs, max(len(sup.cells) - len(sup.results), 1))
     workers: List[_Worker] = []
@@ -544,6 +602,24 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
         workers.extend(_Worker(ctx, fn) for _ in range(n_workers))
         while len(sup.results) < len(sup.cells):
             now = time.monotonic()
+            # Cooperative cancel: stop dispatching, drop the backlog, and
+            # give in-flight cells a bounded grace to reach their next
+            # epoch boundary (the in-worker CancellationHook polls the
+            # same flag file), then kill what remains.
+            if token is not None and not sup.cancelled and token.is_set():
+                sup.cancelled = True
+                sup.event(
+                    -1, "cancel", 0,
+                    f"cancel requested; draining {len(inflight)} in-flight "
+                    f"cell(s), {len(pending)} pending dropped",
+                )
+                pending.clear()
+                grace = now + cfg.cancel_grace_s
+                for w in workers:
+                    if w.busy and (w.deadline is None or w.deadline > grace):
+                        w.deadline = grace
+            if sup.cancelled and not any(w.busy for w in workers):
+                break
             # dispatch ready cells onto idle, live workers (snapshot:
             # respawn mutates the worker list)
             for worker in list(workers):
@@ -588,6 +664,13 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
                     worker.release()
                     if status == _OK:
                         sup.complete(index, payload)
+                    elif sup.cancelled:
+                        # No retries after a cancel; a JobCancelled
+                        # raised by the in-worker hook lands here too.
+                        sup.event(
+                            index, "cancel", attempt,
+                            f"abandoned after cancel: {payload}",
+                        )
                     else:
                         delay = sup.fail_attempt(index, "error", payload)
                         if delay is not None:
@@ -601,7 +684,23 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
             for worker in list(workers):
                 if not worker.busy:
                     continue
-                if not worker.proc.is_alive():
+                if sup.cancelled and (
+                    not worker.proc.is_alive()
+                    or (worker.deadline is not None and now > worker.deadline)
+                ):
+                    # Grace expired (or the worker died) during the
+                    # cancel drain: record, kill, and don't respawn.
+                    index = worker.cell
+                    inflight.pop(index, None)
+                    sup.event(
+                        index, "cancel", worker.attempt,
+                        "worker killed at cancel grace deadline"
+                        if worker.proc.is_alive()
+                        else "worker died during cancel drain",
+                    )
+                    worker.kill()
+                    workers.remove(worker)
+                elif not worker.proc.is_alive():
                     code = worker.proc.exitcode
                     attempt = worker.attempt
                     w = worker
@@ -619,6 +718,11 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
                         f"timeout on attempt {attempt} (worker killed)",
                     )
                     respawn(w)
+        if sup.cancelled:
+            raise JobCancelled(
+                f"sweep cancelled: {len(sup.results)}/{len(sup.cells)} "
+                f"cells completed"
+            )
     finally:
         for worker in workers:
             worker.stop()
@@ -630,6 +734,7 @@ def supervised_map(
     jobs: Optional[int] = 1,
     config: Optional[SupervisorConfig] = None,
     journal_key: Optional[str] = None,
+    on_event: Optional[Callable[[ExecutorEvent], None]] = None,
 ) -> SupervisedReport:
     """Map ``fn`` over ``items`` under supervision; ordered merge.
 
@@ -644,6 +749,15 @@ def supervised_map(
     The worker pool is used when ``jobs > 1`` *or* a timeout is
     configured (timeout enforcement needs a killable worker even for a
     single job); otherwise the supervised loop runs in-process.
+
+    ``on_event`` is called synchronously with every
+    :class:`ExecutorEvent` as it is recorded (live progress streaming);
+    callbacks must be cheap and must not raise.  With
+    ``config.cancel_path`` set, the sweep stops cooperatively when that
+    flag file appears: pending cells are dropped, in-flight cells get
+    ``config.cancel_grace_s`` to reach an epoch boundary, completed
+    cells stay journaled, and :class:`~repro.perf.cancel.JobCancelled`
+    is raised carrying the partial report on ``.report``.
     """
     cells = list(items)
     cfg = config if config is not None else SupervisorConfig()
@@ -659,7 +773,7 @@ def supervised_map(
             resume=cfg.resume,
         )
 
-    sup = _Supervision(cells, cfg, journal)
+    sup = _Supervision(cells, cfg, journal, on_event=on_event)
     sup.resume_from_journal()
     use_pool = len(sup.results) < len(cells) and (
         n_jobs > 1 or cfg.timeout_s is not None
@@ -670,6 +784,15 @@ def supervised_map(
                 _run_pool(fn, sup, n_jobs)
             else:
                 _run_serial(fn, sup)
+    except JobCancelled as exc:
+        # Cooperative cancel: the journal holds every completed cell
+        # (resumable), the telemetry spool holds every event, and the
+        # exception carries the partial report for the caller.
+        if journal is not None:
+            journal.cleanup_tmp()
+        sup.flush_telemetry()
+        exc.report = sup.report()
+        raise
     except BaseException:
         # Interruption (Ctrl-C) or a strict-mode failure: the journal
         # already holds every completed cell; leave no stray temp files

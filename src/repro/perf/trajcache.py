@@ -36,7 +36,13 @@ from typing import List, Optional
 from .. import __version__
 from ..amr.sedov import SedovConfig, SedovEpoch, SedovWorkload
 
-__all__ = ["cached_full_trajectory", "trajectory_key", "trajectory_cache_dir"]
+__all__ = [
+    "cached_full_trajectory",
+    "prune_trajectory_cache",
+    "trajectory_cache_path",
+    "trajectory_key",
+    "trajectory_cache_dir",
+]
 
 #: Environment variable naming the cache directory (empty/unset = off).
 CACHE_ENV = "REPRO_TRAJ_CACHE"
@@ -75,6 +81,52 @@ def trajectory_cache_dir(cache_dir: "str | os.PathLike | None" = None) -> Option
     return Path(cache_dir) if cache_dir is not None else None
 
 
+def trajectory_cache_path(
+    config: SedovConfig,
+    max_steps: Optional[int] = None,
+    cache_dir: "str | os.PathLike | None" = None,
+) -> Optional[Path]:
+    """The on-disk entry this trajectory would use, or ``None`` when no
+    cache directory is configured.  Probing its existence *before* a run
+    is how the service attributes warm-start hits per tenant."""
+    directory = trajectory_cache_dir(cache_dir)
+    if directory is None:
+        return None
+    return directory / f"sedov-{trajectory_key(config, max_steps)}.pkl"
+
+
+def prune_trajectory_cache(
+    cache_dir: "str | os.PathLike | None" = None,
+    max_entries: int = 32,
+) -> int:
+    """Evict least-recently-used entries beyond ``max_entries``.
+
+    Recency is mtime: :func:`cached_full_trajectory` touches an entry on
+    every hit, so a trajectory shared by many tenants stays resident
+    while one-off configs age out.  Returns the number evicted.
+    """
+    if max_entries < 0:
+        raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+    directory = trajectory_cache_dir(cache_dir)
+    if directory is None or not directory.is_dir():
+        return 0
+    entries = []
+    for p in directory.glob("sedov-*.pkl"):
+        try:
+            entries.append((p.stat().st_mtime, p))
+        except OSError:
+            continue
+    entries.sort()
+    evicted = 0
+    for _, p in entries[: max(len(entries) - max_entries, 0)]:
+        try:
+            p.unlink()
+            evicted += 1
+        except OSError:
+            continue
+    return evicted
+
+
 def cached_full_trajectory(
     config: SedovConfig,
     max_steps: Optional[int] = None,
@@ -98,6 +150,10 @@ def cached_full_trajectory(
             and epochs
             and all(isinstance(e, SedovEpoch) for e in epochs)
         ):
+            try:
+                os.utime(path)     # hit = recently used (LRU prune input)
+            except OSError:
+                pass
             return epochs
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
         pass

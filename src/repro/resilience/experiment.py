@@ -95,6 +95,13 @@ class ResilienceExperimentConfig:
     check_determinism: bool = True
     #: attach a PhaseProfilerHook per arm (``result.profiles``)
     profile: bool = False
+    #: cooperative-cancel flag file threaded into each arm's
+    #: DriverConfig (the engine attaches a CancellationHook).  Excluded
+    #: from repr/compare: the item reprs feed the sweep/journal key, and
+    #: a cancelled run must resume under the same key with no flag set.
+    cancel_path: Optional[str] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     def timeline(self) -> FaultTimeline:
         events = []
@@ -207,8 +214,11 @@ def _run_experiment_arm(args) -> tuple:
     config, arm = args
     epochs = _experiment_workload(config.n_ranks, config.steps, config.workload_seed)
     cluster = Cluster(n_ranks=config.n_ranks)
-    driver_cfg = DriverConfig(seed=config.seed)
-    faulty_cfg = DriverConfig(seed=config.seed, transport=config.transport)
+    driver_cfg = DriverConfig(seed=config.seed, cancel_path=config.cancel_path)
+    faulty_cfg = DriverConfig(
+        seed=config.seed, transport=config.transport,
+        cancel_path=config.cancel_path,
+    )
     resilience = ResilienceConfig(
         checkpoint_interval_epochs=config.checkpoint_interval_epochs
     )
@@ -241,6 +251,7 @@ def run_resilience_experiment(
     config: ResilienceExperimentConfig = ResilienceExperimentConfig(),
     jobs: int = 1,
     supervise: Optional[SupervisorConfig] = None,
+    on_event=None,
 ) -> ResilienceExperimentResult:
     """Run the three arms (plus an optional determinism re-run).
 
@@ -260,7 +271,9 @@ def run_resilience_experiment(
         arms.append("recheck")
     items = [(config, a) for a in arms]
     if supervise is not None:
-        report = supervised_map(_run_experiment_arm, items, jobs, config=supervise)
+        report = supervised_map(
+            _run_experiment_arm, items, jobs, config=supervise, on_event=on_event
+        )
         quarantined = report.failures
         if quarantined:
             detail = "; ".join(

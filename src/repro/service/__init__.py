@@ -1,0 +1,63 @@
+"""Placement-as-a-service: the tenant-agnostic job layer.
+
+The package splits "run an experiment" from "be a CLI subcommand":
+
+* :mod:`~repro.service.spec` — serializable :class:`JobSpec` plus the
+  :data:`REGISTRY` of experiment kinds (sedov / scalebench /
+  resilience);
+* :mod:`~repro.service.runner` — :class:`JobRunner` executes any spec
+  through the supervised pool and returns a :class:`JobResult`;
+* :mod:`~repro.service.render` — the one renderer both front ends
+  share (byte-identical to the historical CLI output);
+* :mod:`~repro.service.queue` — admission-controlled priority queue
+  with per-tenant quotas;
+* :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
+  ``repro serve`` asyncio front end and its blocking client.
+"""
+
+from .queue import AdmissionQueue, QueuedJob, QuotaConfig, QuotaExceeded
+from .render import (
+    digest_line,
+    render_resilience,
+    render_scalebench,
+    render_sedov,
+    render_text,
+    supervised_lines,
+)
+from .runner import CANCELLED_EXIT_CODE, JobResult, JobRunner
+from .spec import REGISTRY, ExperimentKind, JobOutcome, JobSpec, spec_from_params
+
+__all__ = [
+    "AdmissionQueue",
+    "CANCELLED_EXIT_CODE",
+    "ExperimentKind",
+    "JobOutcome",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "QueuedJob",
+    "QuotaConfig",
+    "QuotaExceeded",
+    "REGISTRY",
+    "digest_line",
+    "render_resilience",
+    "render_scalebench",
+    "render_sedov",
+    "render_text",
+    "spec_from_params",
+    "supervised_lines",
+]
+
+
+def __getattr__(name):
+    # Server pieces import asyncio machinery; load them on demand so the
+    # CLI fast path (repro sedov → JobRunner) stays light.
+    if name in ("JobService", "ServiceConfig", "serve"):
+        from . import server
+
+        return getattr(server, name)
+    if name in ("ServiceClient", "ServiceError"):
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,144 @@
+"""Minimal blocking client for the ``repro serve`` JSON-lines protocol.
+
+Used by the test suite, the CI service-smoke job, and
+``examples/service_client.py``; applications with their own event loop
+can speak the one-line-JSON-per-message protocol directly.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service replied ``ok: false`` (message is the server error)."""
+
+    def __init__(self, response: Dict) -> None:
+        super().__init__(response.get("error", "service error"))
+        self.response = response
+
+
+class ServiceClient:
+    """One TCP connection to a running job service."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 300.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def call(self, request: Dict) -> Dict:
+        """One request/response round trip; raises on ``ok: false``."""
+        self._file.write(json.dumps(request).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    # ------------------------------------------------------------------ #
+    # verb helpers
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> Dict:
+        return self.call({"op": "ping"})
+
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict] = None,
+        tenant: str = "default",
+        priority: int = 0,
+        jobs: int = 1,
+        resume_of: Optional[str] = None,
+    ) -> str:
+        """Submit a job; returns its ``job_id``."""
+        request = {
+            "op": "submit", "kind": kind, "params": params or {},
+            "tenant": tenant, "priority": priority, "jobs": jobs,
+        }
+        if resume_of is not None:
+            request["resume_of"] = resume_of
+        return self.call(request)["job_id"]
+
+    def status(self, job_id: str) -> Dict:
+        return self.call({"op": "status", "job_id": job_id})["job"]
+
+    def tenant_status(self, tenant: str) -> Dict:
+        return self.call({"op": "status", "tenant": tenant})
+
+    def events(self, job_id: str, since: int = 0) -> Dict:
+        return self.call({"op": "events", "job_id": job_id, "since": since})
+
+    def cancel(self, job_id: str) -> Dict:
+        return self.call({"op": "cancel", "job_id": job_id})
+
+    def query(self, job_id: str, sql: str) -> Dict:
+        return self.call({"op": "query", "job_id": job_id, "sql": sql})
+
+    def result(self, job_id: str, timeout_s: Optional[float] = None) -> Dict:
+        """Block until the job finishes; returns the wire result dict."""
+        response = self.call(
+            {"op": "result", "job_id": job_id, "wait": True,
+             "timeout_s": timeout_s}
+        )
+        return response
+
+    def shutdown(self) -> None:
+        try:
+            self.call({"op": "shutdown"})
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    def stream_events(
+        self, job_id: str, poll_s: float = 0.2
+    ) -> "EventStream":
+        return EventStream(self, job_id, poll_s)
+
+
+class EventStream:
+    """Iterator of executor events, polling until the job finishes."""
+
+    def __init__(
+        self, client: ServiceClient, job_id: str, poll_s: float
+    ) -> None:
+        self.client = client
+        self.job_id = job_id
+        self.poll_s = poll_s
+        self.cursor = 0
+        self.final_state: Optional[str] = None
+
+    def __iter__(self):
+        while True:
+            reply = self.client.events(self.job_id, since=self.cursor)
+            self.cursor = reply["next"]
+            batch: List[Dict] = reply["events"]
+            yield from batch
+            if reply["state"] not in ("queued", "running"):
+                if not batch:
+                    self.final_state = reply["state"]
+                    return
+            elif not batch:
+                time.sleep(self.poll_s)

@@ -1,0 +1,138 @@
+"""Admission-controlled priority queue with per-tenant quotas.
+
+The scheduling policy, in decision order:
+
+1. **Admission** (at submit): a tenant may hold at most
+   ``max_queued_per_tenant`` queued jobs, and the queue overall at most
+   ``max_queued``; beyond either, submit fails with
+   :class:`QuotaExceeded` (the service replies with an error instead of
+   buffering unboundedly).
+2. **Eligibility** (at dispatch): a tenant with
+   ``max_active_per_tenant`` running jobs contributes no candidates —
+   one tenant's burst cannot occupy every slot while another waits.
+3. **Ordering** among eligible jobs: highest ``priority`` first; ties
+   go to the tenant with *fewer running jobs* (fairness under equal
+   priority), then to submission order (FIFO).
+
+The queue is plain single-threaded state; the asyncio server is its
+only caller, always from the event loop.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+__all__ = ["AdmissionQueue", "QueuedJob", "QuotaExceeded", "QuotaConfig"]
+
+
+class QuotaExceeded(RuntimeError):
+    """Submit rejected by admission control (tenant or global quota)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class QuotaConfig:
+    """Admission and fairness limits of one service instance."""
+
+    max_active: int = 2                #: concurrent running jobs, all tenants
+    max_active_per_tenant: int = 1
+    max_queued: int = 64
+    max_queued_per_tenant: int = 8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "max_active", "max_active_per_tenant",
+            "max_queued", "max_queued_per_tenant",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+
+
+@dataclasses.dataclass
+class QueuedJob:
+    """One queue entry (the server's job record rides in ``payload``)."""
+
+    job_id: str
+    tenant: str
+    priority: int = 0
+    payload: object = None
+
+
+class AdmissionQueue:
+    """Priority + fairness scheduling over per-tenant quotas."""
+
+    def __init__(self, quotas: Optional[QuotaConfig] = None) -> None:
+        self.quotas = quotas or QuotaConfig()
+        #: submission order; dispatch scans it (quota-bounded, so small)
+        self._queued: List[QueuedJob] = []
+        self._active: Dict[str, int] = {}      #: tenant → running count
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def queued_for(self, tenant: str) -> int:
+        return sum(1 for j in self._queued if j.tenant == tenant)
+
+    def active_for(self, tenant: str) -> int:
+        return self._active.get(tenant, 0)
+
+    @property
+    def n_active(self) -> int:
+        return sum(self._active.values())
+
+    # ------------------------------------------------------------------ #
+
+    def submit(self, job: QueuedJob) -> None:
+        """Admit one job, or raise :class:`QuotaExceeded`."""
+        q = self.quotas
+        if len(self._queued) >= q.max_queued:
+            raise QuotaExceeded(
+                f"queue full ({q.max_queued} jobs); retry later"
+            )
+        if self.queued_for(job.tenant) >= q.max_queued_per_tenant:
+            raise QuotaExceeded(
+                f"tenant {job.tenant!r} already has "
+                f"{q.max_queued_per_tenant} queued job(s)"
+            )
+        self._queued.append(job)
+
+    def remove(self, job_id: str) -> Optional[QueuedJob]:
+        """Withdraw a queued job (cancel before it ever ran)."""
+        for i, job in enumerate(self._queued):
+            if job.job_id == job_id:
+                return self._queued.pop(i)
+        return None
+
+    def next_job(self) -> Optional[QueuedJob]:
+        """Dispatch decision: the next job to run, or ``None``.
+
+        ``None`` means either no free slot (global ``max_active``) or no
+        *eligible* job — every queued tenant is at its active quota.
+        The caller must follow up with :meth:`mark_started`.
+        """
+        q = self.quotas
+        if self.n_active >= q.max_active:
+            return None
+        best_key = None
+        best_index = None
+        for i, job in enumerate(self._queued):
+            if self.active_for(job.tenant) >= q.max_active_per_tenant:
+                continue
+            key = (-job.priority, self.active_for(job.tenant), i)
+            if best_key is None or key < best_key:
+                best_key, best_index = key, i
+        if best_index is None:
+            return None
+        return self._queued.pop(best_index)
+
+    def mark_started(self, tenant: str) -> None:
+        self._active[tenant] = self._active.get(tenant, 0) + 1
+
+    def mark_finished(self, tenant: str) -> None:
+        n = self._active.get(tenant, 0) - 1
+        if n <= 0:
+            self._active.pop(tenant, None)
+        else:
+            self._active[tenant] = n

@@ -1,0 +1,204 @@
+"""Execute a :class:`~repro.service.spec.JobSpec` through the
+supervised pool, producing a transportable :class:`JobResult`.
+
+The runner is the single execution path behind both front ends:
+
+* the CLI hands it a spec built from argparse flags and prints
+  ``result.text`` (byte-identical to the pre-service subcommands);
+* the server hands it a spec built from a JSON ``submit`` request,
+  instrumented with a cancel flag, a per-job journal, live event
+  spooling, and the shared pattern cache.
+
+A cancelled job is not an error here: :class:`~repro.perf.cancel.
+JobCancelled` is converted into a ``cancelled=True`` result carrying
+the partial supervision report, and the journal it leaves behind is
+resumable (``resume_of`` on a later submit, or ``--resume`` on the
+CLI) to a bit-identical completion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from ..perf.cancel import JobCancelled
+from .render import render_text, supervised_lines
+from .spec import REGISTRY, JobOutcome, JobSpec
+
+__all__ = ["JobResult", "JobRunner"]
+
+#: exit code of a cancelled job (the 128 + SIGINT convention)
+CANCELLED_EXIT_CODE = 130
+
+
+@dataclasses.dataclass
+class JobResult:
+    """Everything a front end needs from one executed spec."""
+
+    kind: str
+    tenant: str
+    text: str                        #: the full CLI-equivalent report
+    exit_code: int
+    digest: Optional[str] = None
+    cancelled: bool = False
+    #: executor counters (n_executed, n_retries, n_quarantined, ...)
+    counters: Dict[str, int] = dataclasses.field(default_factory=dict)
+    journal_path: Optional[str] = None
+    #: this job's pattern-cache counters, summed over its engine runs
+    pattern_cache: Dict[str, int] = dataclasses.field(default_factory=dict)
+    #: this job's trajectory-cache warm-start probe (sedov only)
+    traj_cache: Dict[str, int] = dataclasses.field(default_factory=dict)
+
+    def to_wire(self) -> Dict:
+        """A JSON-safe dict (the ``result`` verb's payload)."""
+        return {
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "text": self.text,
+            "exit_code": self.exit_code,
+            "digest": self.digest,
+            "cancelled": self.cancelled,
+            "counters": dict(self.counters),
+            "journal_path": self.journal_path,
+            "pattern_cache": dict(self.pattern_cache),
+            "traj_cache": dict(self.traj_cache),
+        }
+
+
+def _probe_traj_cache(spec: JobSpec) -> Dict[str, int]:
+    """Warm-start attribution: which of this sedov job's trajectories
+    already sit in the shared on-disk cache (per-tenant hit counters in
+    job status come from summing these)."""
+    if spec.kind != "sedov":
+        return {}
+    from ..perf.trajcache import trajectory_cache_path
+
+    hits = misses = 0
+    for scale in spec.config.scales:
+        try:
+            path = trajectory_cache_path(spec.config.sedov_config(scale))
+        except Exception:
+            # Bad scale/config: let the experiment itself raise the
+            # real error from its own entry point.
+            return {}
+        if path is None:
+            return {}
+        if path.exists():
+            hits += 1
+        else:
+            misses += 1
+    return {"hits": hits, "misses": misses}
+
+
+def _pattern_counters(outcome: JobOutcome) -> Dict[str, int]:
+    totals = {"hits": 0, "misses": 0, "evictions": 0}
+    for s in outcome.summaries:
+        totals["hits"] += s.pattern_cache_hits
+        totals["misses"] += s.pattern_cache_misses
+        totals["evictions"] += s.pattern_cache_evictions
+    return totals
+
+
+class JobRunner:
+    """Runs specs; optionally instruments them with service plumbing.
+
+    Parameters
+    ----------
+    cancel_path:
+        Flag file for cooperative cancellation.  Threaded into the
+        supervisor config *and* each engine run's DriverConfig, so a
+        cancel reaches between-cell scheduling and in-cell epoch
+        boundaries alike.  ``None`` (the CLI path) leaves the spec
+        untouched — keys, digests, and output stay bit-identical to the
+        pre-service subcommands.
+    shared_pattern_cache:
+        Route engine pattern lookups through the process-wide
+        content-keyed store (multi-tenant mode).
+    """
+
+    def __init__(
+        self,
+        cancel_path: Optional[str] = None,
+        shared_pattern_cache: bool = False,
+    ) -> None:
+        self.cancel_path = cancel_path
+        self.shared_pattern_cache = shared_pattern_cache
+
+    # ------------------------------------------------------------------ #
+
+    def _instrument(self, spec: JobSpec) -> JobSpec:
+        if self.cancel_path is None and not self.shared_pattern_cache:
+            return spec
+        kind = REGISTRY[spec.kind]
+        config = kind.instrument(
+            spec.config, self.cancel_path, self.shared_pattern_cache
+        )
+        supervise = spec.supervise
+        if supervise is not None and self.cancel_path is not None:
+            supervise = dataclasses.replace(
+                supervise, cancel_path=self.cancel_path
+            )
+        return dataclasses.replace(spec, config=config, supervise=supervise)
+
+    def run(
+        self,
+        spec: JobSpec,
+        on_event: Optional[Callable] = None,
+    ) -> JobResult:
+        """Execute ``spec``; never raises :class:`JobCancelled`.
+
+        Experiment errors (bad policy name, quarantined resilience arm,
+        ...) propagate to the caller — the CLI lets them traceback as it
+        always has, the server converts them to failed-job records.
+        """
+        if spec.kind not in REGISTRY:
+            raise ValueError(f"unknown experiment kind {spec.kind!r}")
+        kind = REGISTRY[spec.kind]
+        traj = _probe_traj_cache(spec)
+        run_spec = self._instrument(spec)
+        try:
+            outcome = kind.execute(run_spec, on_event)
+        except JobCancelled as exc:
+            return self._cancelled_result(spec, exc, traj)
+        lines = kind.render(run_spec, outcome)
+        report = outcome.executor
+        return JobResult(
+            kind=spec.kind,
+            tenant=spec.tenant,
+            text=render_text(lines),
+            exit_code=kind.exit_code(outcome),
+            digest=kind.digest(outcome),
+            counters=dict(report.counters) if report is not None else {},
+            journal_path=(
+                str(report.journal_path)
+                if report is not None and report.journal_path is not None
+                else None
+            ),
+            pattern_cache=_pattern_counters(outcome),
+            traj_cache=traj,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _cancelled_result(
+        self, spec: JobSpec, exc: JobCancelled, traj: Dict[str, int]
+    ) -> JobResult:
+        report = getattr(exc, "report", None)
+        lines: List[str] = [f"cancelled: {exc}"]
+        counters: Dict[str, int] = {}
+        journal_path = None
+        if report is not None:
+            lines.extend(supervised_lines(report))
+            counters = dict(report.counters)
+            if report.journal_path is not None:
+                journal_path = str(report.journal_path)
+        return JobResult(
+            kind=spec.kind,
+            tenant=spec.tenant,
+            text=render_text(lines),
+            exit_code=CANCELLED_EXIT_CODE,
+            cancelled=True,
+            counters=counters,
+            journal_path=journal_path,
+            traj_cache=traj,
+        )

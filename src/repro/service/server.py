@@ -1,0 +1,490 @@
+"""``repro serve`` — the multi-tenant placement job service.
+
+A line-delimited-JSON protocol over a local TCP socket: each request is
+one JSON object on one line, each response one JSON object on one line.
+Verbs (see ``docs/service.md`` for the full protocol):
+
+* ``submit``  — queue an experiment: ``{"op": "submit", "kind":
+  "sedov", "params": {...}, "tenant": "alice", "priority": 5}``.
+  Admission control enforces per-tenant queue quotas; ``resume_of``
+  continues a cancelled/interrupted job's journal bit-identically.
+* ``status``  — one job's state + progress, or a tenant's aggregate
+  (active/queued counts, pooled cache hit counters).
+* ``events``  — incremental executor-event stream (``since`` cursor).
+* ``query``   — run plan-engine SQL against a *running* job's spooled
+  telemetry partitions (live snapshot semantics: committed partitions
+  only, torn files skipped).
+* ``cancel``  — cooperative cancellation: queued jobs are withdrawn;
+  running jobs get their cancel flag set and stop at the next epoch
+  boundary, leaving a resumable journal.
+* ``result``  — the finished job's rendered report text, digest, and
+  exit code (``wait: true`` blocks until completion).
+* ``ping`` / ``shutdown`` — liveness and orderly stop.
+
+Execution: jobs run in a thread pool (each job may itself fan out a
+supervised *process* pool per its ``jobs`` parameter); every job gets a
+private journal under the service root, a cancel flag file, live event
+spooling, and the process-wide shared pattern cache.  Tenants share
+the on-disk trajectory cache, LRU-pruned after every job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import itertools
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..perf.supervisor import SupervisorConfig
+from .queue import AdmissionQueue, QueuedJob, QuotaConfig, QuotaExceeded
+from .runner import JobResult, JobRunner
+from .spec import REGISTRY, JobSpec, spec_from_params
+
+__all__ = ["JobService", "ServiceConfig", "serve"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceConfig:
+    """One service instance's knobs (the ``repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      #: 0 = ephemeral (printed at start)
+    journal_root: str = ".repro-service"
+    quotas: QuotaConfig = QuotaConfig()
+    #: shared on-disk trajectory cache for every tenant (None = off)
+    traj_cache: Optional[str] = None
+    traj_cache_entries: int = 32       #: LRU budget, pruned after each job
+    #: per-job worker processes when a submit doesn't say (0 = per CPU)
+    default_jobs: int = 1
+    cancel_grace_s: float = 30.0
+
+
+def _n_cells(spec: JobSpec) -> int:
+    """Total cells a spec will execute (the progress denominator)."""
+    c = spec.config
+    if spec.kind == "sedov":
+        return len(c.scales) * len(c.policies)
+    if spec.kind == "scalebench":
+        return len(c.scales) * len(c.distributions) * len(c.x_values)
+    if spec.kind == "resilience":
+        return 3 + (1 if c.check_determinism else 0)
+    return 0
+
+
+@dataclasses.dataclass
+class _Job:
+    """Server-side record of one submitted job."""
+
+    job_id: str
+    spec: JobSpec
+    journal_dir: str
+    cancel_file: str
+    n_cells: int
+    state: str = "queued"       #: queued|running|done|failed|cancelled
+    events: List[Dict] = dataclasses.field(default_factory=list)
+    result: Optional[JobResult] = None
+    error: Optional[str] = None
+    done: asyncio.Event = dataclasses.field(default_factory=asyncio.Event)
+
+    @property
+    def completed_cells(self) -> int:
+        return sum(
+            1 for e in self.events if e["kind"] in ("complete", "resume_hit")
+        )
+
+    def status(self) -> Dict:
+        out = {
+            "job_id": self.job_id,
+            "kind": self.spec.kind,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "state": self.state,
+            "cells_total": self.n_cells,
+            "cells_done": self.completed_cells,
+            "n_events": len(self.events),
+            "journal_dir": self.journal_dir,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result is not None:
+            out["exit_code"] = self.result.exit_code
+            out["digest"] = self.result.digest
+            out["cancelled"] = self.result.cancelled
+            out["pattern_cache"] = dict(self.result.pattern_cache)
+            out["traj_cache"] = dict(self.result.traj_cache)
+        return out
+
+
+class JobService:
+    """The asyncio server plus its scheduler state."""
+
+    def __init__(self, config: ServiceConfig = ServiceConfig()) -> None:
+        self.config = config
+        self.queue = AdmissionQueue(config.quotas)
+        self.jobs: Dict[str, _Job] = {}
+        self._ids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closing = asyncio.Event()
+        self._client_tasks: set = set()
+        #: tenant → pooled cache counters over finished jobs
+        self.tenant_caches: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.quotas.max_active,
+            thread_name_prefix="repro-job",
+        )
+        Path(self.config.journal_root).mkdir(parents=True, exist_ok=True)
+        if self.config.traj_cache is not None:
+            from ..perf.trajcache import CACHE_ENV
+
+            Path(self.config.traj_cache).mkdir(parents=True, exist_ok=True)
+            os.environ[CACHE_ENV] = self.config.traj_cache
+        self._server = await asyncio.start_server(
+            self._handle_client, self.config.host, self.config.port
+        )
+
+    @property
+    def address(self) -> tuple:
+        """(host, port) actually bound (resolves port 0)."""
+        sock = self._server.sockets[0]
+        return sock.getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        async with self._server:
+            await self._closing.wait()
+
+    async def close(self) -> None:
+        self._closing.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Unstick handlers parked on readline before the loop closes.
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------ #
+    # protocol plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _handle_client(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._client_tasks.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                    response = await self._dispatch(request)
+                except QuotaExceeded as exc:
+                    response = {"ok": False, "error": str(exc),
+                                "quota": True}
+                except (ValueError, KeyError, TypeError) as exc:
+                    response = {"ok": False, "error": str(exc)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._client_tasks.discard(task)
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _dispatch(self, request: Dict) -> Dict:
+        op = request.get("op")
+        handler = {
+            "submit": self._op_submit,
+            "status": self._op_status,
+            "events": self._op_events,
+            "query": self._op_query,
+            "cancel": self._op_cancel,
+            "result": self._op_result,
+            "ping": self._op_ping,
+            "shutdown": self._op_shutdown,
+        }.get(op)
+        if handler is None:
+            raise ValueError(f"unknown op {op!r}")
+        return await handler(request)
+
+    def _job(self, request: Dict) -> _Job:
+        job_id = request.get("job_id")
+        if job_id not in self.jobs:
+            raise KeyError(f"unknown job_id {job_id!r}")
+        return self.jobs[job_id]
+
+    # ------------------------------------------------------------------ #
+    # verbs
+    # ------------------------------------------------------------------ #
+
+    async def _op_ping(self, request: Dict) -> Dict:
+        return {
+            "ok": True,
+            "jobs": len(self.jobs),
+            "active": self.queue.n_active,
+            "queued": len(self.queue),
+        }
+
+    async def _op_shutdown(self, request: Dict) -> Dict:
+        self._loop.call_soon(self._closing.set)
+        return {"ok": True}
+
+    async def _op_submit(self, request: Dict) -> Dict:
+        kind = request.get("kind")
+        tenant = str(request.get("tenant", "default"))
+        priority = int(request.get("priority", 0))
+        jobs = int(request.get("jobs", self.config.default_jobs))
+        resume_of = request.get("resume_of")
+        job_id = f"job-{next(self._ids):04d}"
+        if resume_of is not None:
+            previous = self.jobs.get(resume_of)
+            if previous is None:
+                raise KeyError(f"unknown resume_of job {resume_of!r}")
+            journal_dir = previous.journal_dir
+        else:
+            journal_dir = str(Path(self.config.journal_root) / job_id)
+        supervise = SupervisorConfig(
+            journal_dir=journal_dir,
+            resume=resume_of is not None,
+            live_events=True,
+            cancel_grace_s=self.config.cancel_grace_s,
+        )
+        spec = spec_from_params(
+            kind,
+            request.get("params"),
+            tenant=tenant,
+            priority=priority,
+            jobs=jobs,
+            supervise=supervise,
+        )
+        job = _Job(
+            job_id=job_id,
+            spec=spec,
+            journal_dir=journal_dir,
+            cancel_file=str(
+                Path(self.config.journal_root) / f"{job_id}.cancel"
+            ),
+            n_cells=_n_cells(spec),
+        )
+        self.queue.submit(
+            QueuedJob(
+                job_id=job_id, tenant=tenant, priority=priority, payload=job
+            )
+        )
+        self.jobs[job_id] = job
+        self._pump()
+        return {"ok": True, "job_id": job_id, "state": job.state}
+
+    async def _op_status(self, request: Dict) -> Dict:
+        if "job_id" in request:
+            return {"ok": True, "job": self._job(request).status()}
+        tenant = request.get("tenant")
+        if tenant is None:
+            raise ValueError("status needs job_id or tenant")
+        jobs = [
+            j.status() for j in self.jobs.values()
+            if j.spec.tenant == tenant
+        ]
+        return {
+            "ok": True,
+            "tenant": tenant,
+            "active": self.queue.active_for(tenant),
+            "queued": self.queue.queued_for(tenant),
+            "jobs": jobs,
+            "cache": dict(self.tenant_caches.get(tenant, {})),
+        }
+
+    async def _op_events(self, request: Dict) -> Dict:
+        job = self._job(request)
+        since = int(request.get("since", 0))
+        events = job.events[since:]
+        return {
+            "ok": True,
+            "events": events,
+            "next": since + len(events),
+            "state": job.state,
+        }
+
+    async def _op_cancel(self, request: Dict) -> Dict:
+        job = self._job(request)
+        if job.state == "queued":
+            self.queue.remove(job.job_id)
+            job.state = "cancelled"
+            job.done.set()
+            return {"ok": True, "state": job.state}
+        if job.state == "running":
+            from ..perf.cancel import CancelToken
+
+            CancelToken(job.cancel_file).set()
+            return {"ok": True, "state": "cancelling"}
+        return {"ok": True, "state": job.state}
+
+    async def _op_result(self, request: Dict) -> Dict:
+        job = self._job(request)
+        if not job.done.is_set() and request.get("wait"):
+            timeout = request.get("timeout_s")
+            try:
+                await asyncio.wait_for(
+                    job.done.wait(),
+                    None if timeout is None else float(timeout),
+                )
+            except asyncio.TimeoutError:
+                return {"ok": False, "error": "timeout", "state": job.state}
+        if not job.done.is_set():
+            return {"ok": False, "error": "job still running",
+                    "state": job.state}
+        out = {"ok": True, "state": job.state}
+        if job.result is not None:
+            out["result"] = job.result.to_wire()
+        if job.error is not None:
+            out["error"] = job.error
+        return out
+
+    async def _op_query(self, request: Dict) -> Dict:
+        """Plan-engine SQL over a job's (possibly still-spooling)
+        executor-event telemetry — live snapshot semantics."""
+        job = self._job(request)
+        statement = request.get("sql")
+        if not statement:
+            raise ValueError("query needs a 'sql' statement")
+
+        def run_query():
+            from ..telemetry.dataset import TelemetryDataset
+            from ..telemetry.query import sql_query
+
+            spools = sorted(
+                Path(job.journal_dir).glob("sweep-*/telemetry")
+            )
+            if not spools:
+                return None
+            ds = TelemetryDataset.open(spools[0], live=True)
+            return sql_query(ds, statement).run()
+
+        table = await self._loop.run_in_executor(self._pool, run_query)
+        if table is None:
+            return {"ok": True, "columns": {}, "n_rows": 0,
+                    "state": job.state, "note": "no telemetry spooled yet"}
+        return {
+            "ok": True,
+            "columns": {n: table[n].tolist() for n in table.names},
+            "n_rows": table.n_rows,
+            "state": job.state,
+        }
+
+    # ------------------------------------------------------------------ #
+    # scheduling + execution
+    # ------------------------------------------------------------------ #
+
+    def _pump(self) -> None:
+        """Start every eligible queued job (called on submit/finish)."""
+        while True:
+            entry = self.queue.next_job()
+            if entry is None:
+                return
+            job: _Job = entry.payload
+            self.queue.mark_started(job.spec.tenant)
+            job.state = "running"
+            future = self._loop.run_in_executor(
+                self._pool, self._run_job_sync, job
+            )
+            future.add_done_callback(
+                lambda f, job=job: self._loop.call_soon_threadsafe(
+                    self._finish_job, job, f
+                )
+            )
+
+    def _run_job_sync(self, job: _Job) -> JobResult:
+        """Worker-thread body: execute one spec under the runner."""
+        runner = JobRunner(
+            cancel_path=job.cancel_file, shared_pattern_cache=True
+        )
+
+        def on_event(ev) -> None:
+            record = {
+                "t_s": ev.t_s, "cell": ev.cell, "kind": ev.kind,
+                "attempt": ev.attempt, "detail": ev.detail,
+            }
+            self._loop.call_soon_threadsafe(job.events.append, record)
+
+        return runner.run(job.spec, on_event=on_event)
+
+    def _finish_job(self, job: _Job, future) -> None:
+        self.queue.mark_finished(job.spec.tenant)
+        try:
+            result = future.result()
+        except Exception as exc:       # experiment raised: a failed job
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            job.result = result
+            job.state = "cancelled" if result.cancelled else "done"
+            self._absorb_cache_counters(job.spec.tenant, result)
+        try:
+            os.unlink(job.cancel_file)
+        except OSError:
+            pass
+        job.done.set()
+        if self.config.traj_cache is not None:
+            from ..perf.trajcache import prune_trajectory_cache
+
+            self._loop.run_in_executor(
+                self._pool,
+                prune_trajectory_cache,
+                self.config.traj_cache,
+                self.config.traj_cache_entries,
+            )
+        self._pump()
+
+    def _absorb_cache_counters(self, tenant: str, result: JobResult) -> None:
+        pooled = self.tenant_caches.setdefault(
+            tenant,
+            {"pattern_hits": 0, "pattern_misses": 0,
+             "traj_hits": 0, "traj_misses": 0},
+        )
+        pooled["pattern_hits"] += result.pattern_cache.get("hits", 0)
+        pooled["pattern_misses"] += result.pattern_cache.get("misses", 0)
+        pooled["traj_hits"] += result.traj_cache.get("hits", 0)
+        pooled["traj_misses"] += result.traj_cache.get("misses", 0)
+
+
+async def serve(config: ServiceConfig, ready=None) -> int:
+    """Run a service until ``shutdown`` (the ``repro serve`` body)."""
+    service = JobService(config)
+    await service.start()
+    host, port = service.address
+    print(f"repro service listening on {host}:{port}")
+    print(f"journal root: {config.journal_root}")
+    if config.traj_cache is not None:
+        print(f"trajectory cache: {config.traj_cache}")
+    print(f"quotas: {config.quotas.max_active} active "
+          f"({config.quotas.max_active_per_tenant}/tenant), "
+          f"{config.quotas.max_queued} queued "
+          f"({config.quotas.max_queued_per_tenant}/tenant)", flush=True)
+    if ready is not None:
+        ready(service)
+    try:
+        await service.serve_forever()
+    finally:
+        await service.close()
+    return 0

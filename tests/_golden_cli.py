@@ -1,0 +1,188 @@
+"""Frozen pre-service CLI subcommand bodies, for the parity tests.
+
+These are verbatim copies of ``repro.cli._cmd_sedov`` /
+``_cmd_scalebench`` / ``_cmd_resilience`` (and their private helpers)
+as they stood *before* the job-service refactor moved rendering into
+``repro.service``.  ``tests/test_cli_parity.py`` runs both the frozen
+and the live subcommand and asserts byte-identical stdout — the pin
+that the refactor changed plumbing, not output.
+
+Do not "fix" or modernize this module; it is a golden.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+
+def _parse_transport(spec: Optional[str]):
+    from repro.simnet.faults import NO_TRANSPORT_FAULTS, parse_transport_spec
+
+    return NO_TRANSPORT_FAULTS if spec is None else parse_transport_spec(spec)
+
+
+JOURNAL_ENV = "REPRO_SWEEP_JOURNAL"
+
+
+def _supervisor_config(args):
+    import os
+
+    from repro.perf.supervisor import SupervisorConfig
+
+    journal = args.journal or os.environ.get(JOURNAL_ENV) or None
+    if args.resume and journal is None:
+        raise ValueError(
+            "--resume requires --journal DIR (or $REPRO_SWEEP_JOURNAL)"
+        )
+    if args.timeout_s is None and args.retries is None and journal is None:
+        return None
+    kwargs = {}
+    if args.retries is not None:
+        kwargs["retries"] = args.retries
+    return SupervisorConfig(
+        timeout_s=args.timeout_s,
+        journal_dir=journal,
+        resume=args.resume,
+        **kwargs,
+    )
+
+
+def _print_supervised(report) -> None:
+    print()
+    print(report.summary_line())
+    for f in report.failures:
+        print(
+            f"QUARANTINED cell {f.index} "
+            f"({f.kind} after {f.attempts} attempt(s)): {f.error} "
+            f"[item={f.item_repr}]"
+        )
+    if report.journal_path is not None:
+        print(f"journal: {report.journal_path} "
+              f"(events queryable: repro query {report.journal_path}/telemetry "
+              f'"SELECT kind, count(cell) FROM events GROUP BY kind")')
+
+
+def golden_cmd_sedov(args) -> int:
+    import os
+
+    from repro.bench import SedovSweepConfig, run_sedov_sweep
+    from repro.engine.types import DriverConfig
+    from repro.perf.trajcache import CACHE_ENV
+
+    if args.traj_cache is not None:
+        os.environ[CACHE_ENV] = args.traj_cache
+    try:
+        supervise = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_sedov_sweep(
+        SedovSweepConfig(
+            scales=tuple(args.scales),
+            policies=tuple(args.policies),
+            steps=args.steps,
+            paper_scale=args.paper_scale,
+            profile=args.profile,
+            driver=DriverConfig(transport=_parse_transport(args.transport_faults)),
+        ),
+        jobs=args.jobs,
+        supervise=supervise,
+    )
+    print(result.table_i_text())
+    print()
+    print(result.fig6a_table())
+    print()
+    print(result.fig6b_table())
+    print()
+    print(result.fig6c_table())
+    for scale in result.scales():
+        best = result.best_label(scale)
+        print(f"\n{scale} ranks: best {best} "
+              f"({result.reduction_vs_baseline(scale, best):.1%} vs baseline)")
+    if args.transport_faults is not None:
+        print("\ntransport (unreliable fabric):")
+        for o in result.outcomes:
+            s = o.summary
+            print(f"  {o.scale} ranks · {o.policy_label:<10} "
+                  f"retrans={s.n_retransmits} drops={s.n_transport_drops} "
+                  f"rollback={s.n_rollbacks} degraded={s.n_degraded_epochs} "
+                  f"stall={s.transport_stall_s:.3f}s")
+    if args.profile:
+        for o in result.outcomes:
+            print(f"\n[{o.scale} ranks · {o.policy_label}]")
+            print(o.profile.report())
+    if result.executor is not None:
+        _print_supervised(result.executor)
+        print(f"result digest: {result.digest()}")
+    return 0
+
+
+def golden_cmd_scalebench(args) -> int:
+    from repro.bench import (
+        ScalebenchConfig,
+        makespan_table,
+        overhead_table,
+        run_scalebench,
+        run_scalebench_supervised,
+        scalebench_digest,
+    )
+
+    try:
+        supervise = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ScalebenchConfig(scales=tuple(args.scales), repeats=args.repeats)
+    report = None
+    if supervise is not None:
+        result = run_scalebench_supervised(config, jobs=args.jobs,
+                                           supervise=supervise)
+        rows, report = result.rows, result.executor
+    else:
+        rows = run_scalebench(config, jobs=args.jobs)
+    print(makespan_table(rows))
+    print()
+    print(overhead_table(rows))
+    if report is not None:
+        _print_supervised(report)
+    print(f"result digest: {scalebench_digest(rows)}")
+    return 0
+
+
+def golden_cmd_resilience(args) -> int:
+    from repro.resilience.experiment import (
+        ResilienceExperimentConfig,
+        run_resilience_experiment,
+    )
+
+    try:
+        supervise = _supervisor_config(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = run_resilience_experiment(
+        ResilienceExperimentConfig(
+            n_ranks=args.ranks,
+            steps=args.steps,
+            policy=args.policy,
+            seed=args.seed,
+            crash_step=None if args.crash_step < 0 else args.crash_step,
+            crash_node=args.crash_node,
+            throttle_step=None if args.throttle_step < 0 else args.throttle_step,
+            throttle_nodes=tuple(args.throttle_nodes),
+            throttle_factor=args.throttle_factor,
+            transport=_parse_transport(args.transport_faults),
+            checkpoint_interval_epochs=args.checkpoint_interval,
+            check_determinism=not args.no_determinism_check,
+            profile=args.profile,
+        ),
+        jobs=args.jobs,
+        supervise=supervise,
+    )
+    print(result.report())
+    if result.profiles:
+        for arm, profiler in result.profiles.items():
+            print(f"\n[{arm}]")
+            print(profiler.report())
+    return 0 if result.deterministic in (True, None) else 1
