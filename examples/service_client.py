@@ -12,7 +12,12 @@ service's worked example and plays one full multi-tenant session:
    the same query that works *while* the job is still running;
 4. a third job is cancelled mid-run, leaving a resumable journal, and
    a ``resume_of`` submit completes it to the same digest an
-   uninterrupted run produces.
+   uninterrupted run produces;
+5. the server is restarted out from under a connected client (private
+   service only): a durable ``--state`` incarnation comes back on the
+   same port, the client's retry loop reconnects transparently, and a
+   resubmit with the same idempotency key dedups to the recovered job
+   instead of minting a twin.
 
 By default the script starts a private in-process service on a loopback
 port, so it is runnable with no setup::
@@ -42,12 +47,17 @@ SWEEP = {
 
 
 @contextlib.contextmanager
-def private_service():
-    """A throwaway in-process service on an OS-assigned loopback port."""
+def private_service(state_dir=None, port=0):
+    """A throwaway in-process service on an OS-assigned loopback port.
+
+    Pass ``state_dir``/``port`` to bring up a *durable* incarnation that
+    a later call can restart in place (act 5)."""
     from repro.service.server import JobService, ServiceConfig
 
     with tempfile.TemporaryDirectory(prefix="repro-service-") as root:
-        service = JobService(ServiceConfig(port=0, journal_root=root))
+        service = JobService(ServiceConfig(
+            port=port, journal_root=root, state_dir=state_dir,
+        ))
         loop = asyncio.new_event_loop()
         started = threading.Event()
 
@@ -142,7 +152,40 @@ def main(argv=None) -> int:
 
         match = rr["result"]["digest"] == ra["result"]["digest"]
         print(f"resume digest matches uninterrupted run: {match}")
-        return 0 if match else 1
+
+    # -- 5. survive a server restart (private service only) ------------ #
+    # A durable incarnation (``repro serve --state DIR``) writes every
+    # job transition through a crash-safe store, so a restarted server
+    # recovers its job table; the client's retry loop hides the
+    # reconnect from idempotent calls.
+    survived = True
+    if args.port is None:
+        with tempfile.TemporaryDirectory(prefix="repro-state-") as state:
+            with private_service(state_dir=state) as (host, port):
+                durable = ServiceClient(host, port, retries=8,
+                                        backoff_base_s=0.05,
+                                        backoff_max_s=0.5)
+                job = durable.submit("sedov", SWEEP, tenant="alice",
+                                     idempotency_key="example-restart")
+                first = durable.result(job, timeout_s=600)
+                print(f"[durable] {job} done, digest "
+                      f"{first['result']['digest'][:16]}…; "
+                      f"restarting the server ...")
+            # Server #1 is gone.  Server #2: same port, same state dir.
+            with private_service(state_dir=state, port=port):
+                state_seen = durable.status(job)["state"]
+                again = durable.submit("sedov", SWEEP, tenant="alice",
+                                       idempotency_key="example-restart")
+                deduped = again == job
+                print(f"[durable] after restart: {job} is {state_seen}; "
+                      f"resubmit deduped: {deduped}")
+                survived = state_seen == "done" and deduped
+            durable.close()
+    else:
+        print("(skipping restart act against an external server)")
+
+    ok = match and survived
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -218,6 +218,16 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--cancel-grace-s", type=float, default=30.0,
                     help="seconds in-flight cells may drain after cancel "
                     "before their workers are killed")
+    sv.add_argument("--state", metavar="DIR", default=None,
+                    help="durable job store: every lifecycle transition "
+                    "is journaled here and a restart recovers queued and "
+                    "mid-run jobs (resumed bit-identically)")
+    sv.add_argument("--deadline-s", type=float, default=None,
+                    help="default per-job wall-clock deadline in seconds "
+                    "(a submit's own deadline_s overrides it)")
+    sv.add_argument("--poison-threshold", type=int, default=3,
+                    help="server crashes per spec content-hash before the "
+                    "circuit breaker quarantines the spec as failed")
     return p
 
 
@@ -398,6 +408,9 @@ def _cmd_serve(args) -> int:
         traj_cache=args.traj_cache,
         traj_cache_entries=args.traj_cache_entries,
         cancel_grace_s=args.cancel_grace_s,
+        state_dir=args.state,
+        default_deadline_s=args.deadline_s,
+        poison_threshold=args.poison_threshold,
     )
     try:
         return asyncio.run(serve(config))

@@ -91,13 +91,16 @@ class EpochEngine:
             exchange_rounds=config.exchange_rounds,
         )
         self.hooks = list(hooks)
-        if config.cancel_path:
-            from ..perf.cancel import CancelToken
+        if config.cancel_path or config.deadline_ts is not None:
+            from ..perf.cancel import maybe_token
             from .hooks import CancellationHook
 
             # Appended last so an epoch's own hooks (telemetry spool,
             # checkpoint) complete before a cancel abandons the run.
-            self.hooks.append(CancellationHook(CancelToken(config.cancel_path)))
+            self.hooks.append(CancellationHook(
+                maybe_token(config.cancel_path),
+                deadline_ts=config.deadline_ts,
+            ))
         if config.pattern_cache_shared and config.pattern_cache_size > 0:
             pattern_cache = shared_cache_handle(config.pattern_cache_size)
         else:

@@ -282,24 +282,36 @@ class PhaseProfilerHook(EpochHook):
 
 
 class CancellationHook(EpochHook):
-    """Cooperative cancellation at epoch boundaries.
+    """Cooperative cancellation + deadline clock at epoch boundaries.
 
     Polls a :class:`~repro.perf.cancel.CancelToken` (a cross-process
     flag file) before the first epoch and after every completed epoch,
     raising :class:`~repro.perf.cancel.JobCancelled` when it is set —
     i.e. the run stops within one epoch of the request, at a state
     boundary where all accumulators are consistent.  The engine attaches
-    this hook automatically when ``DriverConfig.cancel_path`` is set, so
-    a cancel reaches runs inside pool worker processes with no extra
-    plumbing.  Fires last in the stack: the epoch's own hooks (journal,
+    this hook automatically when ``DriverConfig.cancel_path`` or
+    ``DriverConfig.deadline_ts`` is set, so a cancel reaches runs inside
+    pool worker processes with no extra plumbing.  ``deadline_ts`` is an
+    absolute wall-clock bound checked on the same cadence, raising
+    :class:`~repro.perf.cancel.DeadlineExceeded` (a ``JobCancelled``
+    subclass: same resumable-journal semantics, distinguishable by
+    type).  Fires last in the stack: the epoch's own hooks (journal,
     telemetry spool, checkpoints) have already run when it raises.
     """
 
-    def __init__(self, token) -> None:
+    def __init__(self, token, deadline_ts: Optional[float] = None) -> None:
         self.token = token
+        self.deadline_ts = deadline_ts
 
     def _check(self, ctx: EngineContext) -> None:
-        if self.token.is_set():
+        if self.deadline_ts is not None and time.time() > self.deadline_ts:
+            from ..perf.cancel import DeadlineExceeded
+
+            raise DeadlineExceeded(
+                f"run exceeded its deadline at epoch "
+                f"{ctx.cursor}/{len(ctx.epochs)}"
+            )
+        if self.token is not None and self.token.is_set():
             from ..perf.cancel import JobCancelled
 
             raise JobCancelled(

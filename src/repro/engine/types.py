@@ -73,6 +73,15 @@ class DriverConfig:
     cancel_path: "str | None" = dataclasses.field(
         default=None, repr=False, compare=False
     )
+    #: absolute wall-clock deadline (``time.time()`` epoch seconds)
+    #: enforced by the same CancellationHook at epoch boundaries —
+    #: :class:`~repro.perf.cancel.DeadlineExceeded` past it.  Excluded
+    #: from repr/compare like ``cancel_path``: a deadline bounds *when*
+    #: a run may stop, never what it computes, so keys and digests must
+    #: not see it.
+    deadline_ts: "float | None" = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
 
 @dataclasses.dataclass

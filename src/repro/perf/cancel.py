@@ -27,7 +27,7 @@ import os
 from pathlib import Path
 from typing import Optional
 
-__all__ = ["CancelToken", "JobCancelled"]
+__all__ = ["CancelToken", "DeadlineExceeded", "JobCancelled"]
 
 
 class JobCancelled(RuntimeError):
@@ -43,6 +43,16 @@ class JobCancelled(RuntimeError):
     def __init__(self, message: str, report=None) -> None:
         super().__init__(message)
         self.report = report
+
+
+class DeadlineExceeded(JobCancelled):
+    """A run or sweep stopped because its wall-clock deadline passed.
+
+    Deadlines ride the cancellation machinery — same epoch-boundary
+    stop, same resumable journal, same partial ``report`` — but callers
+    that care (the job service marks deadline overruns *failed*, not
+    cancelled) can tell the two apart by type.
+    """
 
 
 class CancelToken:

@@ -51,7 +51,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
-from .cancel import JobCancelled, maybe_token
+from .cancel import DeadlineExceeded, JobCancelled, maybe_token
 from .executor import CellExecutionError, effective_jobs
 from .journal import SweepJournal, sweep_key
 
@@ -113,6 +113,12 @@ class SupervisorConfig:
     #: after a cancel, in-flight cells get this long to reach their next
     #: epoch boundary before their workers are killed
     cancel_grace_s: float = 30.0
+    #: absolute wall-clock deadline (``time.time()`` epoch seconds); the
+    #: supervisor checks it every wake-up (and the engine's
+    #: CancellationHook checks it inside worker processes), stopping the
+    #: sweep with :class:`~repro.perf.cancel.DeadlineExceeded` — same
+    #: drain + resumable-journal semantics as a cancel
+    deadline_ts: Optional[float] = None
     #: spool executor events to the journal's telemetry dataset as they
     #: happen (one partition per flush) instead of once per run segment —
     #: the service mode, where a job's spool is live-queried mid-run
@@ -411,6 +417,7 @@ class _Supervision:
         self.attempts: Dict[int, int] = {}
         self.events: List[ExecutorEvent] = []
         self.cancelled = False
+        self.deadline_hit = False      #: the cancel was the deadline clock
         self._flushed = 0              #: events already spooled to telemetry
         self.n_retries = 0
         self.n_crashes = 0
@@ -451,13 +458,30 @@ class _Supervision:
             if self.config.live_events:
                 self.flush_telemetry()
 
-    def cancel(self, cell: int, detail: str = "") -> None:
-        """Record the cancel and raise :class:`JobCancelled`."""
+    def cancel(self, cell: int, detail: str = "",
+               deadline: bool = False) -> None:
+        """Record the cancel and raise :class:`JobCancelled` (or
+        :class:`DeadlineExceeded` when the deadline clock fired)."""
         self.cancelled = True
+        self.deadline_hit = self.deadline_hit or deadline
         self.event(cell, "cancel", self.attempts.get(cell, 0), detail)
-        raise JobCancelled(
-            f"sweep cancelled: {len(self.results)}/{len(self.cells)} "
+        raise self.cancel_exc()
+
+    def cancel_exc(self) -> JobCancelled:
+        label = (
+            "sweep deadline exceeded" if self.deadline_hit
+            else "sweep cancelled"
+        )
+        cls = DeadlineExceeded if self.deadline_hit else JobCancelled
+        return cls(
+            f"{label}: {len(self.results)}/{len(self.cells)} "
             f"cells completed"
+        )
+
+    def deadline_passed(self) -> bool:
+        return (
+            self.config.deadline_ts is not None
+            and time.time() > self.config.deadline_ts
         )
 
     def backoff_s(self, attempt: int) -> float:
@@ -545,6 +569,9 @@ def _run_serial(fn, sup: _Supervision) -> None:
         while True:
             if token is not None and token.is_set():
                 sup.cancel(index, "cancel flag set before cell start")
+            if sup.deadline_passed():
+                sup.cancel(index, "deadline passed before cell start",
+                           deadline=True)
             sup.attempts[index] = sup.attempts.get(index, 0) + 1
             try:
                 _maybe_inject_chaos(index, sup.attempts[index])
@@ -552,7 +579,8 @@ def _run_serial(fn, sup: _Supervision) -> None:
             except JobCancelled as exc:
                 # The engine's CancellationHook fired mid-cell; never
                 # retried — a set flag would just re-cancel the retry.
-                sup.cancel(index, str(exc))
+                sup.cancel(index, str(exc),
+                           deadline=isinstance(exc, DeadlineExceeded))
             except Exception as exc:
                 delay = sup.fail_attempt(
                     index, "error", f"{type(exc).__name__}: {exc}"
@@ -605,12 +633,23 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
             # Cooperative cancel: stop dispatching, drop the backlog, and
             # give in-flight cells a bounded grace to reach their next
             # epoch boundary (the in-worker CancellationHook polls the
-            # same flag file), then kill what remains.
-            if token is not None and not sup.cancelled and token.is_set():
+            # same flag file and the same deadline clock), then kill
+            # what remains.
+            if not sup.cancelled and (
+                (token is not None and token.is_set())
+                or sup.deadline_passed()
+            ):
                 sup.cancelled = True
+                sup.deadline_hit = sup.deadline_passed() and not (
+                    token is not None and token.is_set()
+                )
+                reason = (
+                    "deadline exceeded" if sup.deadline_hit
+                    else "cancel requested"
+                )
                 sup.event(
                     -1, "cancel", 0,
-                    f"cancel requested; draining {len(inflight)} in-flight "
+                    f"{reason}; draining {len(inflight)} in-flight "
                     f"cell(s), {len(pending)} pending dropped",
                 )
                 pending.clear()
@@ -671,6 +710,15 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
                             index, "cancel", attempt,
                             f"abandoned after cancel: {payload}",
                         )
+                    elif str(payload).startswith("DeadlineExceeded"):
+                        # The in-worker deadline clock fired a wake-up
+                        # before the supervisor's own check; same
+                        # verdict, never a retryable error (the retry
+                        # would just re-expire).
+                        sup.event(
+                            index, "cancel", attempt,
+                            f"deadline exceeded in worker: {payload}",
+                        )
                     else:
                         delay = sup.fail_attempt(index, "error", payload)
                         if delay is not None:
@@ -719,10 +767,7 @@ def _run_pool(fn, sup: _Supervision, n_jobs: int) -> None:
                     )
                     respawn(w)
         if sup.cancelled:
-            raise JobCancelled(
-                f"sweep cancelled: {len(sup.results)}/{len(sup.cells)} "
-                f"cells completed"
-            )
+            raise sup.cancel_exc()
     finally:
         for worker in workers:
             worker.stop()

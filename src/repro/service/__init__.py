@@ -11,6 +11,9 @@ The package splits "run an experiment" from "be a CLI subcommand":
   share (byte-identical to the historical CLI output);
 * :mod:`~repro.service.queue` — admission-controlled priority queue
   with per-tenant quotas;
+* :mod:`~repro.service.store` / :mod:`~repro.service.recovery` — the
+  crash-safe write-ahead job store and the restart-recovery path
+  behind ``repro serve --state DIR``;
 * :mod:`~repro.service.server` / :mod:`~repro.service.client` — the
   ``repro serve`` asyncio front end and its blocking client.
 """
@@ -60,4 +63,12 @@ def __getattr__(name):
         from . import client
 
         return getattr(client, name)
+    if name in ("JobRecord", "JobStore", "StoreError", "spec_hash"):
+        from . import store
+
+        return getattr(store, name)
+    if name in ("RecoveryPlan", "recover_jobs"):
+        from . import recovery
+
+        return getattr(recovery, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,16 +3,33 @@
 Used by the test suite, the CI service-smoke job, and
 ``examples/service_client.py``; applications with their own event loop
 can speak the one-line-JSON-per-message protocol directly.
+
+The client survives a server restart: when the connection drops
+mid-call it reconnects with jittered exponential backoff (bounded by a
+retry budget) and replays the request.  That replay is only safe for
+requests the server treats idempotently — reads (status/events/
+result/ping/query), cancels (idempotent by design), and submits that
+carry an ``idempotency_key`` (:meth:`ServiceClient.submit` generates
+one automatically, so a replayed submit returns the job the first
+attempt created instead of double-running it).  ``shutdown`` and raw
+:meth:`call` requests without a key are never replayed.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
+import uuid
 from typing import Dict, List, Optional
 
 __all__ = ["ServiceClient", "ServiceError"]
+
+#: ops safe to replay after a reconnect without any idempotency key
+_IDEMPOTENT_OPS = frozenset(
+    {"status", "events", "result", "ping", "query", "cancel"}
+)
 
 
 class ServiceError(RuntimeError):
@@ -24,17 +41,55 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """One TCP connection to a running job service."""
+    """One TCP connection to a running job service.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 300.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+    Parameters
+    ----------
+    retries:
+        Reconnect budget per call: after a connection loss the client
+        makes up to this many reconnect-and-replay attempts (0 restores
+        the fail-fast behaviour).  Only connection failures are
+        retried; a server-side ``ok: false`` (:class:`ServiceError`)
+        and request timeouts are returned to the caller immediately.
+    backoff_base_s / backoff_max_s:
+        Jittered exponential backoff between reconnect attempts:
+        sleep ``uniform(0, min(base * 2**k, max))`` before attempt k.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 300.0,
+        retries: int = 4,
+        backoff_base_s: float = 0.1,
+        backoff_max_s: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self._rng = random.Random()
+        self._sock = None
+        self._file = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
         self._file = self._sock.makefile("rwb")
 
     def close(self) -> None:
+        if self._file is None:
+            return
         try:
             self._file.close()
         finally:
             self._sock.close()
+            self._file = self._sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -45,7 +100,43 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     def call(self, request: Dict) -> Dict:
-        """One request/response round trip; raises on ``ok: false``."""
+        """One request/response round trip; raises on ``ok: false``.
+
+        Replayed across reconnects when the request is safe to replay
+        (an idempotent op, or a submit carrying an ``idempotency_key``)
+        and the retry budget allows.
+        """
+        retryable = (
+            request.get("op") in _IDEMPOTENT_OPS
+            or (request.get("op") == "submit"
+                and request.get("idempotency_key") is not None)
+        )
+        attempts = 1 + (self.retries if retryable else 0)
+        last_exc: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                cap = min(
+                    self.backoff_base_s * (2 ** (attempt - 1)),
+                    self.backoff_max_s,
+                )
+                time.sleep(self._rng.uniform(0.0, cap))
+                try:
+                    self.close()
+                    self._connect()
+                except OSError as exc:
+                    last_exc = exc
+                    continue
+            try:
+                return self._roundtrip(request)
+            except (ConnectionError, BrokenPipeError, OSError) as exc:
+                if isinstance(exc, socket.timeout):
+                    raise  # a slow server is not a dead one
+                last_exc = exc
+        raise ConnectionError(
+            f"service unreachable after {attempts} attempt(s): {last_exc}"
+        )
+
+    def _roundtrip(self, request: Dict) -> Dict:
         self._file.write(json.dumps(request).encode() + b"\n")
         self._file.flush()
         line = self._file.readline()
@@ -71,14 +162,24 @@ class ServiceClient:
         priority: int = 0,
         jobs: int = 1,
         resume_of: Optional[str] = None,
+        idempotency_key: Optional[str] = None,
+        deadline_s: Optional[float] = None,
     ) -> str:
-        """Submit a job; returns its ``job_id``."""
+        """Submit a job; returns its ``job_id``.
+
+        Every submit carries an idempotency key (a fresh UUID when the
+        caller doesn't supply one), so the reconnect replay can never
+        double-run a job whose first ack was lost.
+        """
         request = {
             "op": "submit", "kind": kind, "params": params or {},
             "tenant": tenant, "priority": priority, "jobs": jobs,
+            "idempotency_key": idempotency_key or uuid.uuid4().hex,
         }
         if resume_of is not None:
             request["resume_of"] = resume_of
+        if deadline_s is not None:
+            request["deadline_s"] = deadline_s
         return self.call(request)["job_id"]
 
     def status(self, job_id: str) -> Dict:
@@ -104,9 +205,12 @@ class ServiceClient:
         )
         return response
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain: bool = False) -> None:
+        request = {"op": "shutdown"}
+        if drain:
+            request["drain"] = True
         try:
-            self.call({"op": "shutdown"})
+            self.call(request)
         except (ConnectionError, OSError):
             pass
 

@@ -98,12 +98,44 @@ class AdmissionQueue:
             )
         self._queued.append(job)
 
+    def readmit(self, job: QueuedJob) -> None:
+        """Re-admit a recovered job, bypassing admission quotas.
+
+        Restart recovery replays jobs that already paid their quota
+        checks at the original submit; bouncing them now would lose
+        surviving work.  Callers must readmit in original submission
+        order — dispatch then re-derives the same priority/fairness
+        order a never-restarted server would have used.
+        """
+        self._queued.append(job)
+
     def remove(self, job_id: str) -> Optional[QueuedJob]:
         """Withdraw a queued job (cancel before it ever ran)."""
         for i, job in enumerate(self._queued):
             if job.job_id == job_id:
                 return self._queued.pop(i)
         return None
+
+    def shed_lowest(self, below_priority: int) -> Optional[QueuedJob]:
+        """Evict the least-worthy queued job to make room, or ``None``.
+
+        Overload shedding on a full queue: the victim is the lowest
+        priority strictly below ``below_priority``; among equals, the
+        most recently submitted (oldest work has waited longest and is
+        kept).  ``None`` means the arriving job outranks nothing — the
+        caller sheds *it* with a structured overload response instead.
+        """
+        victim_index = None
+        victim_key = None
+        for i, job in enumerate(self._queued):
+            if job.priority >= below_priority:
+                continue
+            key = (job.priority, -i)
+            if victim_key is None or key < victim_key:
+                victim_key, victim_index = key, i
+        if victim_index is None:
+            return None
+        return self._queued.pop(victim_index)
 
     def next_job(self) -> Optional[QueuedJob]:
         """Dispatch decision: the next job to run, or ``None``.

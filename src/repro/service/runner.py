@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional
 
-from ..perf.cancel import JobCancelled
+from ..perf.cancel import DeadlineExceeded, JobCancelled
 from .render import render_text, supervised_lines
 from .spec import REGISTRY, JobOutcome, JobSpec
 
@@ -29,6 +29,9 @@ __all__ = ["JobResult", "JobRunner"]
 
 #: exit code of a cancelled job (the 128 + SIGINT convention)
 CANCELLED_EXIT_CODE = 130
+
+#: exit code of a job stopped by its deadline (the timeout(1) convention)
+DEADLINE_EXIT_CODE = 124
 
 
 @dataclasses.dataclass
@@ -41,6 +44,8 @@ class JobResult:
     exit_code: int
     digest: Optional[str] = None
     cancelled: bool = False
+    #: the cancellation was the job's own ``deadline_s`` clock firing
+    deadline_exceeded: bool = False
     #: executor counters (n_executed, n_retries, n_quarantined, ...)
     counters: Dict[str, int] = dataclasses.field(default_factory=dict)
     journal_path: Optional[str] = None
@@ -58,6 +63,7 @@ class JobResult:
             "exit_code": self.exit_code,
             "digest": self.digest,
             "cancelled": self.cancelled,
+            "deadline_exceeded": self.deadline_exceeded,
             "counters": dict(self.counters),
             "journal_path": self.journal_path,
             "pattern_cache": dict(self.pattern_cache),
@@ -114,30 +120,48 @@ class JobRunner:
     shared_pattern_cache:
         Route engine pattern lookups through the process-wide
         content-keyed store (multi-tenant mode).
+    deadline_ts:
+        Absolute wall-clock deadline (``time.time()`` epoch seconds).
+        Threaded next to the cancel flag — the supervisor checks it
+        between cells, the engine's CancellationHook at epoch
+        boundaries — so an overrunning job stops cooperatively and
+        leaves a resumable journal, exactly like a cancel, but reported
+        as :class:`~repro.perf.cancel.DeadlineExceeded`.
     """
 
     def __init__(
         self,
         cancel_path: Optional[str] = None,
         shared_pattern_cache: bool = False,
+        deadline_ts: Optional[float] = None,
     ) -> None:
         self.cancel_path = cancel_path
         self.shared_pattern_cache = shared_pattern_cache
+        self.deadline_ts = deadline_ts
 
     # ------------------------------------------------------------------ #
 
     def _instrument(self, spec: JobSpec) -> JobSpec:
-        if self.cancel_path is None and not self.shared_pattern_cache:
+        if (
+            self.cancel_path is None
+            and not self.shared_pattern_cache
+            and self.deadline_ts is None
+        ):
             return spec
         kind = REGISTRY[spec.kind]
         config = kind.instrument(
-            spec.config, self.cancel_path, self.shared_pattern_cache
+            spec.config, self.cancel_path, self.shared_pattern_cache,
+            self.deadline_ts,
         )
         supervise = spec.supervise
-        if supervise is not None and self.cancel_path is not None:
-            supervise = dataclasses.replace(
-                supervise, cancel_path=self.cancel_path
-            )
+        if supervise is not None:
+            updates = {}
+            if self.cancel_path is not None:
+                updates["cancel_path"] = self.cancel_path
+            if self.deadline_ts is not None:
+                updates["deadline_ts"] = self.deadline_ts
+            if updates:
+                supervise = dataclasses.replace(supervise, **updates)
         return dataclasses.replace(spec, config=config, supervise=supervise)
 
     def run(
@@ -183,8 +207,10 @@ class JobRunner:
     def _cancelled_result(
         self, spec: JobSpec, exc: JobCancelled, traj: Dict[str, int]
     ) -> JobResult:
+        deadline = isinstance(exc, DeadlineExceeded)
         report = getattr(exc, "report", None)
-        lines: List[str] = [f"cancelled: {exc}"]
+        label = "deadline exceeded" if deadline else "cancelled"
+        lines: List[str] = [f"{label}: {exc}"]
         counters: Dict[str, int] = {}
         journal_path = None
         if report is not None:
@@ -196,8 +222,9 @@ class JobRunner:
             kind=spec.kind,
             tenant=spec.tenant,
             text=render_text(lines),
-            exit_code=CANCELLED_EXIT_CODE,
+            exit_code=DEADLINE_EXIT_CODE if deadline else CANCELLED_EXIT_CODE,
             cancelled=True,
+            deadline_exceeded=deadline,
             counters=counters,
             journal_path=journal_path,
             traj_cache=traj,

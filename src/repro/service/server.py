@@ -7,7 +7,10 @@ Verbs (see ``docs/service.md`` for the full protocol):
 * ``submit``  — queue an experiment: ``{"op": "submit", "kind":
   "sedov", "params": {...}, "tenant": "alice", "priority": 5}``.
   Admission control enforces per-tenant queue quotas; ``resume_of``
-  continues a cancelled/interrupted job's journal bit-identically.
+  continues a cancelled/interrupted job's journal bit-identically;
+  ``idempotency_key`` makes retried submits return the existing job
+  instead of double-running; ``deadline_s`` bounds the job's wall
+  clock.
 * ``status``  — one job's state + progress, or a tenant's aggregate
   (active/queued counts, pooled cache hit counters).
 * ``events``  — incremental executor-event stream (``since`` cursor).
@@ -19,7 +22,21 @@ Verbs (see ``docs/service.md`` for the full protocol):
   boundary, leaving a resumable journal.
 * ``result``  — the finished job's rendered report text, digest, and
   exit code (``wait: true`` blocks until completion).
-* ``ping`` / ``shutdown`` — liveness and orderly stop.
+* ``ping`` / ``shutdown`` — liveness and orderly stop; ``{"op":
+  "shutdown", "drain": true}`` checkpoints running jobs first (see
+  below).
+
+Durability: with ``--state DIR`` every lifecycle transition is written
+through a crash-safe :class:`~repro.service.store.JobStore` *before*
+it takes effect, and boot runs :func:`~repro.service.recovery.
+recover_jobs` — queued jobs are re-admitted in order, mid-run jobs
+resume their PR 6 sweep journals bit-identically, and a spec whose
+executions have crashed the server ``--poison-threshold`` times is
+quarantined as failed instead of crash-looping the pool.  A full queue
+sheds lowest-priority-first: an arriving higher-priority submit evicts
+the lowest queued job (which lands in state ``shed``), and a submit
+that cannot displace anything gets a structured ``overloaded``
+response with a ``retry_after_s`` hint.
 
 Execution: jobs run in a thread pool (each job may itself fan out a
 supervised *process* pool per its ``jobs`` parameter); every job gets a
@@ -35,15 +52,22 @@ import dataclasses
 import itertools
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..perf.supervisor import SupervisorConfig
 from .queue import AdmissionQueue, QueuedJob, QuotaConfig, QuotaExceeded
+from .recovery import recover_jobs
 from .runner import JobResult, JobRunner
 from .spec import REGISTRY, JobSpec, spec_from_params
+from .store import JobRecord, JobStore, spec_hash
 
-__all__ = ["JobService", "ServiceConfig", "serve"]
+__all__ = ["JobService", "ServiceConfig", "serve", "MAX_FRAME_BYTES"]
+
+#: hard bound on one request line; longer frames get a structured error
+#: and the connection resynchronizes at the next newline
+MAX_FRAME_BYTES = 1 << 20
 
 
 @dataclasses.dataclass(frozen=True)
@@ -60,6 +84,15 @@ class ServiceConfig:
     #: per-job worker processes when a submit doesn't say (0 = per CPU)
     default_jobs: int = 1
     cancel_grace_s: float = 30.0
+    #: durable job store + restart recovery root (None = in-memory only,
+    #: the pre-durability behaviour)
+    state_dir: Optional[str] = None
+    #: default per-job wall-clock deadline (None = unbounded); a submit's
+    #: own ``deadline_s`` overrides it
+    default_deadline_s: Optional[float] = None
+    #: server crashes per spec content-hash before the circuit breaker
+    #: quarantines the spec as failed at recovery
+    poison_threshold: int = 3
 
 
 def _n_cells(spec: JobSpec) -> int:
@@ -79,11 +112,21 @@ class _Job:
     """Server-side record of one submitted job."""
 
     job_id: str
+    seq: int
     spec: JobSpec
+    params: Dict
     journal_dir: str
     cancel_file: str
     n_cells: int
-    state: str = "queued"       #: queued|running|done|failed|cancelled
+    spec_hash: str
+    state: str = "queued"   #: queued|running|done|failed|cancelled|shed
+    idempotency_key: Optional[str] = None
+    deadline_s: Optional[float] = None
+    resume_of: Optional[str] = None
+    crashes: int = 0
+    #: set while a drain shutdown is checkpointing this job (its cancel
+    #: is a *suspension*: the store keeps it queued for the next boot)
+    draining: bool = False
     events: List[Dict] = dataclasses.field(default_factory=list)
     result: Optional[JobResult] = None
     error: Optional[str] = None
@@ -107,6 +150,12 @@ class _Job:
             "n_events": len(self.events),
             "journal_dir": self.journal_dir,
         }
+        if self.idempotency_key is not None:
+            out["idempotency_key"] = self.idempotency_key
+        if self.deadline_s is not None:
+            out["deadline_s"] = self.deadline_s
+        if self.crashes:
+            out["crashes"] = self.crashes
         if self.error is not None:
             out["error"] = self.error
         if self.result is not None:
@@ -116,6 +165,29 @@ class _Job:
             out["pattern_cache"] = dict(self.result.pattern_cache)
             out["traj_cache"] = dict(self.result.traj_cache)
         return out
+
+    def record(self) -> JobRecord:
+        """The job's durable form (what the store persists)."""
+        return JobRecord(
+            job_id=self.job_id,
+            seq=self.seq,
+            kind=self.spec.kind,
+            params=self.params,
+            tenant=self.spec.tenant,
+            priority=self.spec.priority,
+            jobs=self.spec.jobs,
+            state=self.state,
+            journal_dir=self.journal_dir,
+            spec_hash=self.spec_hash,
+            idempotency_key=self.idempotency_key,
+            deadline_s=self.deadline_s,
+            resume_of=self.resume_of,
+            crashes=self.crashes,
+            digest=self.result.digest if self.result else None,
+            exit_code=self.result.exit_code if self.result else None,
+            error=self.error,
+            cancelled=bool(self.result.cancelled) if self.result else False,
+        )
 
 
 class JobService:
@@ -133,6 +205,12 @@ class JobService:
         self._client_tasks: set = set()
         #: tenant → pooled cache counters over finished jobs
         self.tenant_caches: Dict[str, Dict[str, int]] = {}
+        self.store: Optional[JobStore] = None
+        self.recovery = None           #: the boot RecoveryPlan (or None)
+        self._idempotency: Dict[str, str] = {}
+        self._draining = False
+        #: recent job wall times, for the overload Retry-After hint
+        self._recent_s: List[float] = []
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -152,8 +230,92 @@ class JobService:
 
             Path(self.config.traj_cache).mkdir(parents=True, exist_ok=True)
             os.environ[CACHE_ENV] = self.config.traj_cache
+        if self.config.state_dir is not None:
+            self.store = JobStore(self.config.state_dir)
+            self._recover()
         self._server = await asyncio.start_server(
             self._handle_client, self.config.host, self.config.port
+        )
+        self._pump()
+
+    def _recover(self) -> None:
+        """Replay the job store into live scheduler state (boot path)."""
+        plan = recover_jobs(self.store, self.config.poison_threshold)
+        self.recovery = plan
+        self._ids = itertools.count(plan.max_seq + 1)
+        for rec in plan.finished:
+            job = self._job_from_record(rec)
+            job.state = rec.state
+            job.error = rec.error
+            if rec.state != "shed":
+                # Digest/exit survive a restart; the rendered text does
+                # not — the result verb says so instead of guessing.
+                job.result = JobResult(
+                    kind=rec.kind,
+                    tenant=rec.tenant,
+                    text="(result text not retained across a server "
+                         "restart; digest and exit code are)",
+                    exit_code=rec.exit_code if rec.exit_code is not None
+                    else (1 if rec.state == "failed" else 0),
+                    digest=rec.digest,
+                    cancelled=rec.cancelled,
+                )
+            job.done.set()
+            self.jobs[job.job_id] = job
+        for rec in plan.requeue:
+            job = self._job_from_record(rec)
+            # A cancel flag from the previous incarnation (killed while
+            # *cancelling*) is transient intent, not durable state:
+            # left in place it would insta-cancel the recovered run.
+            # The durable record survived, so the job runs to done.
+            try:
+                os.unlink(job.cancel_file)
+            except OSError:
+                pass
+            self.jobs[job.job_id] = job
+            # Quotas were paid at the original submit: recovery
+            # re-admission must never bounce surviving work.
+            self.queue.readmit(
+                QueuedJob(job_id=job.job_id, tenant=rec.tenant,
+                          priority=rec.priority, payload=job)
+            )
+        for job in self.jobs.values():
+            if job.idempotency_key:
+                self._idempotency[job.idempotency_key] = job.job_id
+
+    def _job_from_record(self, rec: JobRecord) -> _Job:
+        """Rebuild a live job from its durable record.
+
+        The spec goes back through :func:`spec_from_params` — the same
+        path a fresh submit takes — with ``resume=True`` supervision so
+        an existing sweep journal replays instead of re-running.
+        """
+        supervise = SupervisorConfig(
+            journal_dir=rec.journal_dir,
+            resume=True,
+            live_events=True,
+            cancel_grace_s=self.config.cancel_grace_s,
+        )
+        spec = spec_from_params(
+            rec.kind, rec.params, tenant=rec.tenant, priority=rec.priority,
+            jobs=rec.jobs, supervise=supervise,
+        )
+        return _Job(
+            job_id=rec.job_id,
+            seq=rec.seq,
+            spec=spec,
+            params=dict(rec.params),
+            journal_dir=rec.journal_dir,
+            cancel_file=str(
+                Path(self.config.journal_root) / f"{rec.job_id}.cancel"
+            ),
+            n_cells=_n_cells(spec),
+            spec_hash=rec.spec_hash,
+            state="queued",
+            idempotency_key=rec.idempotency_key,
+            deadline_s=rec.deadline_s,
+            resume_of=rec.resume_of,
+            crashes=rec.crashes,
         )
 
     @property
@@ -171,38 +333,75 @@ class JobService:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        # Unstick handlers parked on readline before the loop closes.
+        # Unstick handlers parked on read before the loop closes.
         for task in list(self._client_tasks):
             task.cancel()
         if self._client_tasks:
             await asyncio.gather(*self._client_tasks, return_exceptions=True)
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.store is not None:
+            self.store.flush()
 
     # ------------------------------------------------------------------ #
     # protocol plumbing
     # ------------------------------------------------------------------ #
 
     async def _handle_client(self, reader, writer) -> None:
+        """Connection loop with explicit framing.
+
+        The loop must survive anything a client throws at it: malformed
+        or truncated JSON, unknown ops, and frames past
+        :data:`MAX_FRAME_BYTES` all produce a structured ``ok: false``
+        response and leave the connection usable.  Oversized frames are
+        discarded up to the next newline (one error per frame, however
+        many reads it spans).
+        """
         task = asyncio.current_task()
         self._client_tasks.add(task)
+        buf = bytearray()
+        discarding = False
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                chunk = await reader.read(65536)
+                if not chunk:
                     break
-                try:
-                    request = json.loads(line)
-                    if not isinstance(request, dict):
-                        raise ValueError("request must be a JSON object")
-                    response = await self._dispatch(request)
-                except QuotaExceeded as exc:
-                    response = {"ok": False, "error": str(exc),
-                                "quota": True}
-                except (ValueError, KeyError, TypeError) as exc:
-                    response = {"ok": False, "error": str(exc)}
-                writer.write(json.dumps(response).encode() + b"\n")
-                await writer.drain()
+                buf.extend(chunk)
+                while True:
+                    nl = buf.find(b"\n")
+                    if nl < 0:
+                        if len(buf) > MAX_FRAME_BYTES:
+                            if not discarding:
+                                discarding = True
+                                writer.write(_encode({
+                                    "ok": False,
+                                    "error": f"frame exceeds "
+                                             f"{MAX_FRAME_BYTES} bytes",
+                                    "frame_too_large": True,
+                                }))
+                                await writer.drain()
+                            buf.clear()
+                        break
+                    line = bytes(buf[:nl])
+                    del buf[:nl + 1]
+                    if discarding:
+                        discarding = False   # tail of the oversized frame
+                        continue
+                    if len(line) > MAX_FRAME_BYTES:
+                        # Complete line, but past the bound (it slipped
+                        # under the mid-read check by arriving within
+                        # one read of its newline).
+                        writer.write(_encode({
+                            "ok": False,
+                            "error": f"frame exceeds "
+                                     f"{MAX_FRAME_BYTES} bytes",
+                            "frame_too_large": True,
+                        }))
+                        await writer.drain()
+                        continue
+                    response = await self._respond(line)
+                    writer.write(_encode(response))
+                    await writer.drain()
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
             pass
         finally:
@@ -211,6 +410,27 @@ class JobService:
                 writer.close()
             except Exception:
                 pass
+
+    async def _respond(self, line: bytes) -> Dict:
+        """One frame in, one structured response out — never raises."""
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            return await self._dispatch(request)
+        except QuotaExceeded as exc:
+            return {"ok": False, "error": str(exc), "quota": True}
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"malformed JSON: {exc}",
+                    "malformed": True}
+        except (ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "error": str(exc)}
+        except Exception as exc:       # last-ditch: the loop stays alive
+            return {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+                "internal": True,
+            }
 
     async def _dispatch(self, request: Dict) -> Dict:
         op = request.get("op")
@@ -234,29 +454,116 @@ class JobService:
             raise KeyError(f"unknown job_id {job_id!r}")
         return self.jobs[job_id]
 
+    def _persist(self, job: _Job, force: bool = False) -> None:
+        """Write-through: the store sees every transition as it happens."""
+        if self.store is not None:
+            self.store.write(job.record(), force=force)
+
     # ------------------------------------------------------------------ #
     # verbs
     # ------------------------------------------------------------------ #
 
     async def _op_ping(self, request: Dict) -> Dict:
-        return {
+        out = {
             "ok": True,
             "jobs": len(self.jobs),
             "active": self.queue.n_active,
             "queued": len(self.queue),
+            "draining": self._draining,
         }
+        if self.store is not None:
+            out["state_dir"] = str(self.store.root)
+        return out
 
     async def _op_shutdown(self, request: Dict) -> Dict:
+        if request.get("drain"):
+            return self._start_drain()
         self._loop.call_soon(self._closing.set)
         return {"ok": True}
 
+    def _start_drain(self) -> Dict:
+        """Graceful drain: stop admitting, checkpoint running jobs
+        (cooperative cancel leaving resumable journals, re-queued in the
+        store for the next boot), flush the store, then stop."""
+        from ..perf.cancel import CancelToken
+
+        self._draining = True
+        running = [j for j in self.jobs.values() if j.state == "running"]
+        for job in running:
+            job.draining = True
+            CancelToken(job.cancel_file).set()
+
+        async def finish_drain():
+            if running:
+                grace = self.config.cancel_grace_s + 30.0
+                await asyncio.wait(
+                    [asyncio.ensure_future(j.done.wait()) for j in running],
+                    timeout=grace,
+                )
+            if self.store is not None:
+                self.store.flush()
+            self._closing.set()
+
+        self._loop.create_task(finish_drain())
+        return {"ok": True, "draining": True, "checkpointing": len(running),
+                "queued_kept": len(self.queue)}
+
     async def _op_submit(self, request: Dict) -> Dict:
+        if self._draining:
+            return {"ok": False, "error": "server is draining for shutdown",
+                    "draining": True}
         kind = request.get("kind")
+        params = dict(request.get("params") or {})
         tenant = str(request.get("tenant", "default"))
         priority = int(request.get("priority", 0))
         jobs = int(request.get("jobs", self.config.default_jobs))
         resume_of = request.get("resume_of")
-        job_id = f"job-{next(self._ids):04d}"
+        idempotency_key = request.get("idempotency_key")
+        deadline_s = request.get("deadline_s", self.config.default_deadline_s)
+        if deadline_s is not None:
+            deadline_s = float(deadline_s)
+            if deadline_s <= 0:
+                raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
+
+        # Idempotent submission: a retried submit (client reconnect, lost
+        # ack) returns the job the first attempt created — never a twin.
+        if idempotency_key is not None:
+            existing_id = self._idempotency.get(str(idempotency_key))
+            if existing_id is not None and existing_id in self.jobs:
+                existing = self.jobs[existing_id]
+                return {"ok": True, "job_id": existing_id,
+                        "state": existing.state, "deduped": True}
+
+        shash = spec_hash(kind, params) if kind else ""
+        if (
+            self.store is not None
+            and self.store.is_poisoned(shash, self.config.poison_threshold)
+        ):
+            return {
+                "ok": False,
+                "error": f"spec {shash[:12]}… is quarantined: it crashed "
+                         f"the server {self.store.crash_count(shash)} "
+                         f"time(s) (poison-spec circuit breaker)",
+                "poisoned": True,
+            }
+
+        # Overload shedding on a full queue: an arriving higher-priority
+        # submit displaces the lowest-priority queued job; otherwise the
+        # submit is rejected with a structured overload response.
+        if len(self.queue) >= self.config.quotas.max_queued:
+            victim = self.queue.shed_lowest(below_priority=priority)
+            if victim is None:
+                return {
+                    "ok": False,
+                    "error": f"overloaded: queue full "
+                             f"({self.config.quotas.max_queued} jobs)",
+                    "overloaded": True,
+                    "retry_after_s": self._retry_after_hint(),
+                }
+            self._shed(victim.payload)
+
+        seq = next(self._ids)
+        job_id = f"job-{seq:04d}"
         if resume_of is not None:
             previous = self.jobs.get(resume_of)
             if previous is None:
@@ -272,7 +579,7 @@ class JobService:
         )
         spec = spec_from_params(
             kind,
-            request.get("params"),
+            params,
             tenant=tenant,
             priority=priority,
             jobs=jobs,
@@ -280,21 +587,59 @@ class JobService:
         )
         job = _Job(
             job_id=job_id,
+            seq=seq,
             spec=spec,
+            params=params,
             journal_dir=journal_dir,
             cancel_file=str(
                 Path(self.config.journal_root) / f"{job_id}.cancel"
             ),
             n_cells=_n_cells(spec),
+            spec_hash=shash,
+            state="submitted",
+            idempotency_key=(
+                str(idempotency_key) if idempotency_key is not None else None
+            ),
+            deadline_s=deadline_s,
+            resume_of=resume_of,
         )
+        # Admission first, then one write-ahead persist of the queued
+        # state: the ack only ever promises "queued", so the transient
+        # submitted->queued hop needs no fsync of its own, and a quota
+        # rejection leaves no record to clean up.  A crash in between
+        # loses only a job that was never acknowledged — the client's
+        # idempotency-key retry recreates it.
         self.queue.submit(
             QueuedJob(
-                job_id=job_id, tenant=tenant, priority=priority, payload=job
+                job_id=job_id, tenant=tenant, priority=priority,
+                payload=job,
             )
         )
+        job.state = "queued"
+        self._persist(job)
         self.jobs[job_id] = job
+        if job.idempotency_key is not None:
+            self._idempotency[job.idempotency_key] = job_id
         self._pump()
         return {"ok": True, "job_id": job_id, "state": job.state}
+
+    def _shed(self, job: _Job) -> None:
+        """Evict one queued job to admit a higher-priority submit."""
+        job.state = "shed"
+        job.error = (
+            "shed: displaced from a full queue by a higher-priority submit"
+        )
+        self._persist(job)
+        job.done.set()
+
+    def _retry_after_hint(self) -> float:
+        """Seconds until a slot plausibly frees: recent mean job time
+        scaled by the backlog per execution slot (floor 1s, default 5s)."""
+        if not self._recent_s:
+            return 5.0
+        mean_s = sum(self._recent_s) / len(self._recent_s)
+        backlog = max(1.0, len(self.queue) / self.config.quotas.max_active)
+        return round(max(1.0, mean_s * backlog), 1)
 
     async def _op_status(self, request: Dict) -> Dict:
         if "job_id" in request:
@@ -331,6 +676,7 @@ class JobService:
         if job.state == "queued":
             self.queue.remove(job.job_id)
             job.state = "cancelled"
+            self._persist(job)
             job.done.set()
             return {"ok": True, "state": job.state}
         if job.state == "running":
@@ -398,6 +744,8 @@ class JobService:
 
     def _pump(self) -> None:
         """Start every eligible queued job (called on submit/finish)."""
+        if self._draining:
+            return
         while True:
             entry = self.queue.next_job()
             if entry is None:
@@ -405,19 +753,26 @@ class JobService:
             job: _Job = entry.payload
             self.queue.mark_started(job.spec.tenant)
             job.state = "running"
+            self._persist(job)
+            deadline_ts = (
+                time.time() + job.deadline_s
+                if job.deadline_s is not None else None
+            )
+            t0 = time.monotonic()
             future = self._loop.run_in_executor(
-                self._pool, self._run_job_sync, job
+                self._pool, self._run_job_sync, job, deadline_ts
             )
             future.add_done_callback(
-                lambda f, job=job: self._loop.call_soon_threadsafe(
-                    self._finish_job, job, f
+                lambda f, job=job, t0=t0: self._loop.call_soon_threadsafe(
+                    self._finish_job, job, f, t0
                 )
             )
 
-    def _run_job_sync(self, job: _Job) -> JobResult:
+    def _run_job_sync(self, job: _Job, deadline_ts: Optional[float]) -> JobResult:
         """Worker-thread body: execute one spec under the runner."""
         runner = JobRunner(
-            cancel_path=job.cancel_file, shared_pattern_cache=True
+            cancel_path=job.cancel_file, shared_pattern_cache=True,
+            deadline_ts=deadline_ts,
         )
 
         def on_event(ev) -> None:
@@ -429,16 +784,46 @@ class JobService:
 
         return runner.run(job.spec, on_event=on_event)
 
-    def _finish_job(self, job: _Job, future) -> None:
+    def _finish_job(self, job: _Job, future, t0: float) -> None:
         self.queue.mark_finished(job.spec.tenant)
+        self._recent_s = (self._recent_s + [time.monotonic() - t0])[-8:]
         try:
             result = future.result()
         except Exception as exc:       # experiment raised: a failed job
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
+            self._persist(job)
         else:
             job.result = result
-            job.state = "cancelled" if result.cancelled else "done"
+            if result.deadline_exceeded:
+                job.state = "failed"
+                job.error = (
+                    f"deadline_s={job.deadline_s:g} exceeded; "
+                    "partial journal kept (resume_of continues it)"
+                )
+                self._persist(job)
+            elif result.cancelled and job.draining:
+                # Drain checkpoint: in-memory the job ends cancelled,
+                # but the store keeps it queued so the next boot resumes
+                # its journal bit-identically.
+                job.state = "cancelled"
+                if self.store is not None:
+                    rec = job.record()
+                    rec.state = "queued"
+                    rec.error = None
+                    rec.exit_code = None
+                    rec.cancelled = False
+                    self.store.write(rec, force=True)
+            else:
+                job.state = "cancelled" if result.cancelled else "done"
+                self._persist(job)
+                if (
+                    self.store is not None
+                    and job.state == "done"
+                    and job.spec_hash
+                ):
+                    # A clean completion closes the circuit breaker.
+                    self.store.clear_poison(job.spec_hash)
             self._absorb_cache_counters(job.spec.tenant, result)
         try:
             os.unlink(job.cancel_file)
@@ -468,6 +853,10 @@ class JobService:
         pooled["traj_misses"] += result.traj_cache.get("misses", 0)
 
 
+def _encode(response: Dict) -> bytes:
+    return json.dumps(response).encode() + b"\n"
+
+
 async def serve(config: ServiceConfig, ready=None) -> int:
     """Run a service until ``shutdown`` (the ``repro serve`` body)."""
     service = JobService(config)
@@ -475,6 +864,11 @@ async def serve(config: ServiceConfig, ready=None) -> int:
     host, port = service.address
     print(f"repro service listening on {host}:{port}")
     print(f"journal root: {config.journal_root}")
+    if config.state_dir is not None:
+        print(f"state dir: {config.state_dir} (durable job store)")
+        if service.recovery is not None:
+            for line in service.recovery.summary_lines():
+                print(line)
     if config.traj_cache is not None:
         print(f"trajectory cache: {config.traj_cache}")
     print(f"quotas: {config.quotas.max_active} active "

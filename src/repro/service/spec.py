@@ -85,9 +85,10 @@ class ExperimentKind:
     render: Callable[[JobSpec, JobOutcome], List[str]]
     digest: Callable[[JobOutcome], Optional[str]]
     exit_code: Callable[[JobOutcome], int]
-    #: attach service plumbing (cancel flag, shared pattern cache) to a
-    #: spec's config without changing its repr/keys
-    instrument: Callable[[object, Optional[str], bool], object]
+    #: attach service plumbing (cancel flag, shared pattern cache,
+    #: wall-clock deadline) to a spec's config without changing its
+    #: repr/keys
+    instrument: Callable[[object, Optional[str], bool, Optional[float]], object]
 
 
 # ---------------------------------------------------------------------- #
@@ -147,11 +148,12 @@ def _sedov_render(spec: JobSpec, outcome: JobOutcome) -> List[str]:
     )
 
 
-def _sedov_instrument(config, cancel_path, shared_cache):
+def _sedov_instrument(config, cancel_path, shared_cache, deadline_ts=None):
     driver = dataclasses.replace(
         config.driver,
         cancel_path=cancel_path,
         pattern_cache_shared=shared_cache,
+        deadline_ts=deadline_ts,
     )
     return dataclasses.replace(config, driver=driver)
 
@@ -194,10 +196,11 @@ def _scalebench_digest(outcome: JobOutcome) -> str:
     return scalebench_digest(outcome.result)
 
 
-def _scalebench_instrument(config, cancel_path, shared_cache):
-    # No epoch engine under scalebench cells: mid-cell cancellation and
-    # the shared pattern cache don't apply (cells are sub-second; the
-    # supervisor-level cancel between cells is the effective one).
+def _scalebench_instrument(config, cancel_path, shared_cache, deadline_ts=None):
+    # No epoch engine under scalebench cells: mid-cell cancellation, the
+    # shared pattern cache, and in-cell deadline checks don't apply
+    # (cells are sub-second; the supervisor-level cancel/deadline
+    # between cells is the effective one).
     return config
 
 
@@ -261,7 +264,9 @@ def _resilience_exit_code(outcome: JobOutcome) -> int:
     return 0 if outcome.result.deterministic in (True, None) else 1
 
 
-def _resilience_instrument(config, cancel_path, shared_cache):
+def _resilience_instrument(config, cancel_path, shared_cache, deadline_ts=None):
+    # Deadlines for resilience arms are enforced between cells by the
+    # supervisor; the arms themselves are short, fixed-length runs.
     return dataclasses.replace(config, cancel_path=cancel_path)
 
 

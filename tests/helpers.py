@@ -1,11 +1,67 @@
-"""Shared test helpers (random structure generators)."""
+"""Shared test helpers (random structure generators, live job service)."""
 
 from __future__ import annotations
+
+import asyncio
+import threading
+import time
 
 import numpy as np
 
 from repro.mesh.geometry import RootGrid
 from repro.mesh.octree import OctreeForest
+
+
+class LiveService:
+    """A :class:`~repro.service.server.JobService` on a background
+    event-loop thread — the service-test harness, shared by the
+    end-to-end, recovery, and chaos suites."""
+
+    def __init__(self, journal_root, **config_kwargs):
+        from repro.service.server import JobService, ServiceConfig
+
+        config_kwargs.setdefault("journal_root", str(journal_root))
+        config_kwargs.setdefault("port", 0)
+        self.config = ServiceConfig(**config_kwargs)
+        self.service = JobService(self.config)
+        self.loop = asyncio.new_event_loop()
+        started = threading.Event()
+
+        def body():
+            asyncio.set_event_loop(self.loop)
+            self.loop.run_until_complete(self.service.start())
+            started.set()
+            self.loop.run_until_complete(self.service.serve_forever())
+            self.loop.run_until_complete(self.service.close())
+            self.loop.close()
+
+        self.thread = threading.Thread(target=body, daemon=True)
+        self.thread.start()
+        if not started.wait(10):
+            raise RuntimeError("service did not start")
+
+    def client(self):
+        from repro.service.client import ServiceClient
+
+        return ServiceClient(*self.service.address)
+
+    def stop(self, drain=False):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(*self.service.address) as c:
+            c.shutdown(drain=drain)
+        self.thread.join(timeout=60)
+
+
+def wait_for(predicate, timeout_s=120.0, poll_s=0.05):
+    """Poll ``predicate`` until truthy (returning its value) or raise."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll_s)
+    raise TimeoutError("condition not met")
 
 
 def random_forest(seed: int, n_ops: int = 12, dim: int = 2) -> OctreeForest:

@@ -64,6 +64,19 @@ class TestRunBench:
         # <= 5% on fault-free sweeps vs the bare pool.
         assert smoke_result["derived"]["executor.overhead_ratio"] <= 1.05
 
+    def test_jobstore_overhead_gate(self, smoke_result):
+        metrics = smoke_result["metrics"]
+        names = {
+            n.rsplit(".s", 1)[0]
+            for n in metrics
+            if n.startswith("service.submit")
+        }
+        assert names == {"service.submit_inmem", "service.submit_jobstore"}
+        # The acceptance bar from the ISSUE: the write-ahead JobStore
+        # (fsync'd per-job records on every state transition) must cost
+        # <= 10% on an end-to-end submit vs the in-memory service.
+        assert smoke_result["derived"]["service.jobstore_overhead_ratio"] <= 1.10
+
     def test_profiles_cover_sweep_only_beyond_smoke(self):
         assert PROFILES["smoke"]["sweep"] is None
         assert PROFILES["quick"]["sweep"] is not None

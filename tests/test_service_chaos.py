@@ -1,0 +1,187 @@
+"""Chaos and adversarial-input suite for the job service.
+
+Three attack surfaces, per the durable-service PR:
+
+* **process death**: SIGKILL a real ``repro serve`` subprocess mid-job
+  and assert the restarted server recovers the job to a digest
+  byte-identical to an uninterrupted run (the ``tools/chaos_service``
+  harness, also run standalone by the ``service-crash-recovery`` CI
+  job);
+* **wire garbage**: fuzz-style frames — malformed JSON, truncated
+  lines, binary noise, oversized frames, unknown ops — must each get a
+  structured ``ok: false`` reply and leave the connection usable;
+* **client-side resilience**: :class:`ServiceClient` reconnects with
+  backoff and replays idempotent requests across a server restart.
+"""
+
+import importlib.util
+import json
+import socket
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient
+from repro.service.queue import QuotaConfig
+from repro.service.server import MAX_FRAME_BYTES
+
+from tests.helpers import LiveService
+
+TINY = {"scales": [512], "steps": 40, "policies": ["baseline", "cplx:50"]}
+
+_TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load_chaos_module():
+    spec = importlib.util.spec_from_file_location(
+        "chaos_service", _TOOLS / "chaos_service.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("chaos_service", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture
+def live_service(tmp_path):
+    services = []
+
+    def make(**kwargs):
+        svc = LiveService(tmp_path / "svc", **kwargs)
+        services.append(svc)
+        return svc
+
+    yield make
+    for svc in services:
+        if svc.thread.is_alive():
+            svc.stop()
+
+
+class TestSigkillRecovery:
+    def test_sigkill_mid_job_recovers_bit_identically(self, tmp_path):
+        """The acceptance scenario: kill -9 a live server mid-sweep,
+        restart against the same --state dir, digest matches the
+        uninterrupted run, and the idempotency key never mints a twin.
+        """
+        chaos = _load_chaos_module()
+        chaos.run_chaos(tmp_path, verbose=False)
+
+
+class TestProtocolFuzz:
+    GARBAGE = [
+        b"not json at all",
+        b'{"op": "submit", "kind": ',          # truncated JSON
+        b"\x00\xff\xfe\x01\x80garbage\x07",    # binary noise
+        b'"just a string"',                    # JSON, not an object
+        b"[1, 2, 3]",                          # JSON array
+        b"{}",                                 # no op
+        b'{"op": "frobnicate"}',               # unknown op
+        b'{"op": 42}',                         # non-string op
+        b'{"op": "status"}',                   # missing job_id/tenant
+        b'{"op": "submit"}',                   # missing kind
+        b'{"op": "submit", "kind": "sedov", "priority": "high"}',
+        b'{"op": "result", "job_id": "job-9999"}',
+    ]
+
+    def test_garbage_frames_get_structured_errors(self, live_service):
+        svc = live_service()
+        host, port = svc.service.address
+        with socket.create_connection((host, port), timeout=30) as sock:
+            fh = sock.makefile("rwb")
+            for frame in self.GARBAGE:
+                fh.write(frame + b"\n")
+                fh.flush()
+                reply = json.loads(fh.readline())
+                assert reply["ok"] is False, frame
+                assert isinstance(reply["error"], str) and reply["error"]
+            # The connection survived all of it.
+            fh.write(b'{"op": "ping"}\n')
+            fh.flush()
+            assert json.loads(fh.readline())["ok"] is True
+
+    def test_oversized_frame_rejected_connection_survives(
+        self, live_service
+    ):
+        svc = live_service()
+        host, port = svc.service.address
+        with socket.create_connection((host, port), timeout=60) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b'{"op": "ping", "pad": "')
+            fh.write(b"x" * (MAX_FRAME_BYTES + 4096))
+            fh.write(b'"}\n')
+            fh.flush()
+            reply = json.loads(fh.readline())
+            assert reply["ok"] is False
+            assert reply.get("frame_too_large") is True
+            # Exactly one error for the oversized frame, then business
+            # as usual.
+            fh.write(b'{"op": "ping"}\n')
+            fh.flush()
+            assert json.loads(fh.readline())["ok"] is True
+
+    def test_interleaved_garbage_and_real_work(self, live_service):
+        svc = live_service()
+        with svc.client() as c:
+            job = c.submit("sedov", TINY, tenant="alice")
+            host, port = svc.service.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                fh = sock.makefile("rwb")
+                fh.write(b"}{[[\n")
+                fh.flush()
+                assert json.loads(fh.readline())["ok"] is False
+            assert c.result(job, timeout_s=300)["state"] == "done"
+
+
+class TestClientReconnect:
+    def test_idempotent_ops_survive_server_restart(self, tmp_path):
+        """Kill the service out from under a connected client; the
+        client's retry loop reconnects to the restarted server (same
+        port, same state dir) and the replayed ops see recovered state.
+        """
+        state = tmp_path / "state"
+        svc1 = LiveService(tmp_path / "svc", state_dir=str(state))
+        host, port = svc1.service.address
+        client = ServiceClient(host, port, retries=8,
+                               backoff_base_s=0.05, backoff_max_s=0.5)
+        job = client.submit("sedov", TINY, tenant="alice",
+                            idempotency_key="restart-key")
+        assert client.result(job, timeout_s=300)["state"] == "done"
+        svc1.stop()
+
+        # Bring a new incarnation up on the SAME port so the client's
+        # reconnect loop can find it (the subprocess SIGKILL variant of
+        # this scenario lives in TestSigkillRecovery).
+        svc2 = LiveService(tmp_path / "svc", state_dir=str(state),
+                           port=port)
+        try:
+            # The old socket is dead: these calls must transparently
+            # reconnect and hit the recovered job table.
+            assert client.status(job)["state"] == "done"
+            resubmit = client.submit("sedov", TINY, tenant="alice",
+                                     idempotency_key="restart-key")
+            assert resubmit == job
+        finally:
+            client.close()
+            svc2.stop()
+
+    def test_retry_budget_exhausts_with_connection_error(self, tmp_path):
+        svc = LiveService(tmp_path / "svc")
+        host, port = svc.service.address
+        client = ServiceClient(host, port, retries=2,
+                               backoff_base_s=0.01, backoff_max_s=0.02)
+        svc.stop()
+        with pytest.raises(ConnectionError, match="after 3 attempt"):
+            client.ping()
+        client.close()
+
+    def test_non_idempotent_submit_not_replayed(self, tmp_path):
+        """A raw submit without an idempotency key must fail fast on a
+        dead connection rather than risk double-running."""
+        svc = LiveService(tmp_path / "svc")
+        host, port = svc.service.address
+        client = ServiceClient(host, port, retries=5)
+        svc.stop()
+        with pytest.raises(ConnectionError, match="1 attempt"):
+            client.call({"op": "submit", "kind": "sedov", "params": TINY})
+        client.close()
