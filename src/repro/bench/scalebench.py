@@ -1,6 +1,6 @@
 """scalebench: placement quality and overhead vs scale (Fig. 7b/7c).
 
-Evaluates policies at 512 – 128K ranks with ~2 blocks per rank (the
+Evaluates policies at 512 ranks – 1M ranks with ~2 blocks per rank (the
 paper uses 1–2; a non-integer 2.25 keeps the restricted CDP's
 floor/ceil choice meaningful) under the three synthetic cost
 distributions.  Reports:
@@ -11,6 +11,17 @@ distributions.  Reports:
 
 No mesh or network is needed — scalebench measures the placement
 algorithms themselves.
+
+Beyond the paper's 128K-rank ceiling the global block table itself
+becomes the bottleneck, so large cells run *sharded*: policy input
+(costs, SFC ids) is materialized one contiguous rank window at a time
+through a :class:`~repro.mesh.sharding.ShardedBlockTable` and each
+shard is placed independently — peak metadata memory scales with the
+shard size, not the global rank count.  Placement within a shard is
+exactly the global algorithm at shard scale (CPLX's chunked CDP already
+partitions by SFC windows, so sharding composes with, rather than
+changes, the policy).  A cell whose rank count fits comfortably in one
+allocation keeps the historical single-shot path — and its digests.
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from .distributions import COST_DISTRIBUTIONS, make_costs
 from .reporting import cplx_label, format_table
 
 __all__ = [
+    "AUTO_SHARD_MIN_RANKS",
+    "AUTO_SHARD_RANKS",
     "ScalebenchConfig",
     "ScalebenchRow",
     "ScalebenchResult",
@@ -43,9 +56,23 @@ __all__ = [
 ]
 
 
+#: cells at or above this many ranks auto-shard their block tables
+AUTO_SHARD_MIN_RANKS = 16384
+#: rank-window size used when auto-sharding kicks in
+AUTO_SHARD_RANKS = 4096
+
+
 @dataclasses.dataclass(frozen=True)
 class ScalebenchConfig:
-    """Parameters of one scalebench sweep."""
+    """Parameters of one scalebench sweep.
+
+    ``shard_ranks`` controls the sharded block-table path: ``0`` (the
+    default) shards cells of :data:`AUTO_SHARD_MIN_RANKS` ranks or more
+    into :data:`AUTO_SHARD_RANKS`-rank windows and leaves smaller cells
+    on the historical global path; a positive value forces that window
+    size for every cell.  A cell whose window covers all its ranks is
+    bit-identical to the global path.
+    """
 
     scales: Tuple[int, ...] = (512, 2048, 8192)
     x_values: Tuple[float, ...] = (0.0, 25.0, 50.0, 75.0, 100.0)
@@ -53,11 +80,22 @@ class ScalebenchConfig:
     blocks_per_rank: float = 2.25
     repeats: int = 3
     seed: int = 0
+    shard_ranks: int = 0
 
     def __post_init__(self) -> None:
         unknown = set(self.distributions) - set(COST_DISTRIBUTIONS)
         if unknown:
             raise ValueError(f"unknown distributions: {sorted(unknown)}")
+        if self.shard_ranks < 0:
+            raise ValueError("shard_ranks must be >= 0 (0 = auto)")
+
+    def effective_shard_ranks(self, n_ranks: int) -> Optional[int]:
+        """Rank-window size for one cell, or ``None`` for the global path."""
+        if self.shard_ranks > 0:
+            return min(self.shard_ranks, n_ranks)
+        if n_ranks >= AUTO_SHARD_MIN_RANKS:
+            return min(AUTO_SHARD_RANKS, n_ranks)
+        return None
 
 
 @dataclasses.dataclass
@@ -85,21 +123,79 @@ class _ScalebenchCell:
     x: float
 
 
+def _shard_seed(base_seed: int, shard: int) -> int:
+    """Per-shard cost-stream seed; shard 0 reuses the global seed so a
+    one-shard cell draws exactly the global cost array."""
+    return base_seed + 104729 * shard
+
+
+def _place_sharded(
+    policy, cell: "_ScalebenchCell", base_seed: int, shard_ranks: int
+) -> Tuple[float, float, int]:
+    """One repeat of one cell through the sharded block-table path.
+
+    Materializes policy input one rank window at a time via
+    :class:`~repro.mesh.sharding.ShardedBlockTable` and streams the
+    makespan reduction, so peak metadata memory is O(shard blocks).
+    Returns ``(normalized makespan, placement seconds, peak shard
+    bytes)``; with one shard the result is bit-identical to the global
+    path.
+    """
+    from ..mesh.sharding import ShardedBlockTable
+
+    config = cell.config
+    n_ranks = cell.n_ranks
+    rank_bounds = list(range(0, n_ranks, shard_ranks)) + [n_ranks]
+    block_bounds = [int(r * config.blocks_per_rank) for r in rank_bounds]
+    table = ShardedBlockTable(
+        block_bounds[-1],
+        bounds=block_bounds,
+        columns={
+            "cost": lambda s, lo, hi: make_costs(
+                cell.distribution, hi - lo, seed=_shard_seed(base_seed, s)
+            ),
+            "sfc_id": lambda s, lo, hi: np.arange(lo, hi, dtype=np.int64),
+        },
+    )
+    max_load = 0.0
+    total = 0.0
+    elapsed = 0.0
+    for s in range(table.n_shards):
+        cols = table.materialize(s)
+        costs = cols["cost"]
+        ranks_s = rank_bounds[s + 1] - rank_bounds[s]
+        result = policy.place(costs, ranks_s)
+        loads = np.bincount(
+            result.assignment, weights=costs, minlength=ranks_s
+        ).astype(np.float64)
+        max_load = max(max_load, float(loads.max()) if ranks_s else 0.0)
+        total += float(costs.sum())
+        elapsed += result.elapsed_s
+    norm = max_load / (total / n_ranks) if total > 0 else 1.0
+    return norm, elapsed, table.peak_shard_bytes
+
+
 def _run_scalebench_cell(cell: _ScalebenchCell) -> ScalebenchRow:
     """Execute one cell; the cost seed is derived from the cell alone."""
     config = cell.config
     n_blocks = int(cell.n_ranks * config.blocks_per_rank)
     policy = get_policy(f"cplx:{cell.x}")
+    shard_ranks = config.effective_shard_ranks(cell.n_ranks)
     ms = []
     ts = []
     for rep in range(config.repeats):
-        costs = make_costs(
-            cell.distribution, n_blocks,
-            seed=config.seed + 7919 * rep + cell.n_ranks,
-        )
-        result = policy.place(costs, cell.n_ranks)
-        ms.append(normalized_makespan(costs, result.assignment, cell.n_ranks))
-        ts.append(result.elapsed_s)
+        base_seed = config.seed + 7919 * rep + cell.n_ranks
+        if shard_ranks is None:
+            costs = make_costs(cell.distribution, n_blocks, seed=base_seed)
+            result = policy.place(costs, cell.n_ranks)
+            ms.append(normalized_makespan(costs, result.assignment, cell.n_ranks))
+            ts.append(result.elapsed_s)
+        else:
+            norm, elapsed, _peak = _place_sharded(
+                policy, cell, base_seed, shard_ranks
+            )
+            ms.append(norm)
+            ts.append(elapsed)
     return ScalebenchRow(
         n_ranks=cell.n_ranks,
         distribution=cell.distribution,

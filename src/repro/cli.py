@@ -120,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs(b)
     b.add_argument("--scales", type=int, nargs="+", default=[512, 2048, 8192])
     b.add_argument("--repeats", type=int, default=3)
+    b.add_argument("--distributions", nargs="+",
+                   default=["exponential", "gaussian", "power-law"],
+                   choices=["exponential", "gaussian", "power-law"])
+    b.add_argument("--x-values", type=float, nargs="+",
+                   default=[0.0, 25.0, 50.0, 75.0, 100.0],
+                   help="CPLX X%% arms to evaluate")
+    b.add_argument("--shard-ranks", type=int, default=0,
+                   help="rank-window size for sharded block tables "
+                   "(0 = auto: shard cells >= 16384 ranks into 4096-rank "
+                   "windows; smaller cells keep the global path)")
 
     sub.add_parser("tuning", help="Figs. 1-3 tuning case studies")
 
@@ -322,7 +332,13 @@ def _cmd_commbench(args) -> int:
 def _cmd_scalebench(args) -> int:
     return _run_spec(
         "scalebench",
-        {"scales": args.scales, "repeats": args.repeats},
+        {
+            "scales": args.scales,
+            "repeats": args.repeats,
+            "distributions": args.distributions,
+            "x_values": args.x_values,
+            "shard_ranks": args.shard_ranks,
+        },
         args,
     )
 

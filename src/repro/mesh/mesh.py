@@ -8,15 +8,16 @@ used by the simulation driver.
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from .geometry import BlockIndex, RootGrid
 from .fast_neighbors import build_neighbor_graph_auto
+from .incremental import IncrementalUpdateError, splice_blocks, update_neighbor_graph
 from .neighbors import NeighborGraph
 from .octree import OctreeForest
-from .refinement import RefinementTags, apply_tags
+from .refinement import RefinementTags, RemeshDelta, apply_tags
 
 __all__ = ["AmrMesh"]
 
@@ -62,7 +63,12 @@ class AmrMesh:
         self._graph: NeighborGraph | None = None
         self._coords: np.ndarray | None = None
         self._levels: np.ndarray | None = None
+        self._id_of: Dict[BlockIndex, int] | None = None
         self.generation = 0  # bumped on every structural change
+        #: remesh deltas touching more than this fraction of the mesh
+        #: fall back to a full metadata rebuild (the vectorized builder
+        #: wins once most of the mesh changed anyway)
+        self.incremental_max_fraction = 0.25
 
     # ------------------------------------------------------------------ #
     # derived structures (cached)
@@ -95,7 +101,14 @@ class AmrMesh:
         return self._graph
 
     def block_id(self, idx: BlockIndex) -> int:
-        return self.blocks.index(idx)
+        """SFC block ID of a leaf — O(1) via a cached index, maintained
+        incrementally across remesh deltas."""
+        if self._id_of is None:
+            self._id_of = {b: i for i, b in enumerate(self.blocks)}
+        try:
+            return self._id_of[idx]
+        except KeyError:
+            raise ValueError(f"{idx} is not a leaf of this mesh") from None
 
     def _geometry(self) -> Tuple[np.ndarray, np.ndarray]:
         """Cached per-block (coords, levels) arrays in SFC order."""
@@ -136,20 +149,75 @@ class AmrMesh:
         self._graph = None
         self._coords = None
         self._levels = None
+        self._id_of = None
         self.generation += 1
 
-    def remesh(self, tags: RefinementTags) -> Tuple[int, int]:
-        """Apply refinement tags (2:1-balanced); returns (refined, merged)."""
-        n_ref, n_coarse = apply_tags(self.forest, tags)
-        if n_ref or n_coarse:
-            self._invalidate()
-        return n_ref, n_coarse
+    def remesh(self, tags: RefinementTags) -> RemeshDelta:
+        """Apply refinement tags (2:1-balanced); returns the remesh delta.
+
+        The returned :class:`RemeshDelta` still unpacks as the historical
+        ``(n_refined, n_coarsened)`` tuple.  When the neighbor graph is
+        cached and the delta touches a small fraction of the mesh, the
+        cached block list, geometry arrays, block-ID index, and graph
+        are spliced in O(touched) instead of being rebuilt; any
+        inconsistency falls back to full invalidation.
+        """
+        graph = self._graph
+        # No halo probe: the incremental update derives the halo from the
+        # cached graph's edge rows, and the full-rebuild path ignores it.
+        delta = apply_tags(self.forest, tags, collect_halo=False)
+        if delta.changed:
+            if graph is not None and self._delta_is_small(delta, graph):
+                try:
+                    self._apply_delta(delta, graph)
+                except IncrementalUpdateError:
+                    self._invalidate()
+            else:
+                self._invalidate()
+        return delta
+
+    def _delta_is_small(self, delta: RemeshDelta, graph: NeighborGraph) -> bool:
+        return delta.touched <= self.incremental_max_fraction * max(
+            graph.n_blocks, 1
+        )
+
+    def _apply_delta(self, delta: RemeshDelta, graph: NeighborGraph) -> None:
+        """Splice a remesh delta into every cached derived structure."""
+        old_blocks = self._blocks if self._blocks is not None else graph.blocks
+        id_of = self._id_of
+        if id_of is None:
+            id_of = {b: i for i, b in enumerate(old_blocks)}
+        splice = splice_blocks(old_blocks, id_of, delta)
+        new_graph = update_neighbor_graph(
+            graph, delta, self.forest, splice=splice, id_of=id_of
+        )
+        if len(splice.blocks) != self.forest.n_leaves:
+            raise IncrementalUpdateError(
+                f"spliced {len(splice.blocks)} blocks != {self.forest.n_leaves} leaves"
+            )
+        if self._coords is not None and self._levels is not None:
+            keep = splice.old_to_new >= 0
+            coords = np.empty((len(splice.blocks), self.dim), dtype=np.int64)
+            levels = np.empty(len(splice.blocks), dtype=np.int64)
+            coords[splice.old_to_new[keep]] = self._coords[keep]
+            levels[splice.old_to_new[keep]] = self._levels[keep]
+            for i in splice.added:
+                b = splice.blocks[i]
+                coords[i] = b.coords
+                levels[i] = b.level
+            self._coords, self._levels = coords, levels
+        # graph.blocks is the freshly spliced list; share it so
+        # ``mesh.blocks is mesh.neighbor_graph.blocks`` stays true.
+        self._graph = new_graph
+        self._blocks = new_graph.blocks
+        self._id_of = {b: i for i, b in enumerate(new_graph.blocks)}
+        self.generation += 1
 
     def remesh_by_predicate(
         self,
         should_refine: Callable[[BlockIndex], bool],
         should_coarsen: Callable[[BlockIndex], bool] | None = None,
-    ) -> Tuple[int, int]:
+    ) -> RemeshDelta:
         """Tag by predicates and remesh in one step."""
         from .refinement import tag_by_predicate
 

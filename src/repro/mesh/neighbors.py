@@ -97,7 +97,7 @@ def _resolve(
 
 
 def find_neighbors(
-    forest: OctreeForest, block: BlockIndex
+    forest: OctreeForest, block: BlockIndex, depth_limit: int | None = None
 ) -> Dict[BlockIndex, NeighborKind]:
     """All neighbors of ``block`` with their contact classification.
 
@@ -106,11 +106,18 @@ def find_neighbors(
     kind.  The block itself is never included (a coarse neighbor found by
     wrap-around in a tiny periodic domain could alias to the block; such
     degenerate self-contacts are dropped).
+
+    ``depth_limit`` caps probe descent; any bound >= the deepest leaf
+    level gives identical results (descent only enters regions that are
+    actually subdivided), so callers probing many blocks pass
+    ``forest.max_level`` instead of paying the default O(n) leaf scan
+    per call.
     """
     if block not in forest:
         raise KeyError(f"{block} is not a leaf of the forest")
     root = forest.root
-    depth_limit = max((b.level for b in forest.leaves()), default=0)
+    if depth_limit is None:
+        depth_limit = max((b.level for b in forest.leaves()), default=0)
     found: Dict[BlockIndex, NeighborKind] = {}
     for d in _directions(forest.dim):
         kind = NeighborKind.from_direction(d)

@@ -7,19 +7,32 @@ balance* invariant — adjacent leaves differing by more than one
 refinement level — which block-based codes require so each face abuts at
 most ``2^(dim-1)` neighbors.  This module converts tags into a legal
 sequence of refine/coarsen operations.
+
+:func:`apply_tags` reports what it did as a :class:`RemeshDelta` — the
+refined leaves, the merged parents, and the surviving *halo* of blocks
+adjacent to any removed leaf.  The delta is everything
+:func:`repro.mesh.incremental.update_neighbor_graph` needs to splice a
+cached neighbor graph instead of rebuilding it, and it still unpacks as
+the historical ``(n_refined, n_coarsened)`` tuple.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Callable, Dict, Iterable, List, Set, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Set, Tuple
 
 from .geometry import BlockIndex
 from .neighbors import find_neighbors
 from .octree import OctreeForest
 
-__all__ = ["RefinementTags", "enforce_two_one_balance", "apply_tags", "is_two_one_balanced"]
+__all__ = [
+    "RefinementTags",
+    "RemeshDelta",
+    "enforce_two_one_balance",
+    "apply_tags",
+    "is_two_one_balanced",
+]
 
 
 @dataclasses.dataclass
@@ -38,6 +51,77 @@ class RefinementTags:
         overlap = self.refine & self.coarsen
         if overlap:
             raise ValueError(f"blocks tagged both refine and coarsen: {overlap}")
+
+
+@dataclasses.dataclass(frozen=True)
+class RemeshDelta:
+    """Structured description of one :func:`apply_tags` application.
+
+    Attributes
+    ----------
+    refined:
+        Pre-op leaves that were split into their children, in the order
+        they were refined (sorted by ``(level, coords)``).
+    coarsened:
+        Parents whose sibling sets were merged, in merge order.
+    halo:
+        Surviving leaves that were adjacent (pre-op) to any removed
+        leaf — the blocks whose neighbor rows an incremental graph
+        update must recompute.  Empty when nothing changed, or when the
+        producer skipped halo collection
+        (``apply_tags(..., collect_halo=False)``) because the consumer
+        derives the same set from a cached graph's edge rows.
+
+    The delta iterates as ``(n_refined, n_coarsened)`` so historical
+    tuple-unpacking call sites keep working.
+    """
+
+    refined: Tuple[BlockIndex, ...]
+    coarsened: Tuple[BlockIndex, ...]
+    halo: Tuple[BlockIndex, ...] = ()
+
+    @property
+    def n_refined(self) -> int:
+        return len(self.refined)
+
+    @property
+    def n_coarsened(self) -> int:
+        return len(self.coarsened)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.refined or self.coarsened)
+
+    def removed_blocks(self) -> List[BlockIndex]:
+        """Pre-op leaves that no longer exist (refined leaves + merged
+        children)."""
+        out = list(self.refined)
+        for p in self.coarsened:
+            out.extend(p.children())
+        return out
+
+    def added_blocks(self) -> List[BlockIndex]:
+        """Post-op leaves that did not exist before (children of refined
+        leaves + merged parents)."""
+        out: List[BlockIndex] = []
+        for b in self.refined:
+            out.extend(b.children())
+        out.extend(self.coarsened)
+        return out
+
+    @property
+    def touched(self) -> int:
+        """Removed + added leaf count — the work an incremental update
+        is proportional to."""
+        full_r = 1 << (len(self.refined[0].coords) if self.refined else 0)
+        full_c = 1 << (len(self.coarsened[0].coords) if self.coarsened else 0)
+        return len(self.refined) * (1 + full_r) + len(self.coarsened) * (1 + full_c)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter((self.n_refined, self.n_coarsened))
+
+    def __bool__(self) -> bool:
+        return self.changed
 
 
 def is_two_one_balanced(forest: OctreeForest) -> bool:
@@ -72,9 +156,17 @@ def enforce_two_one_balance(
     any neighboring leaf at level ``L-1`` or coarser to refine too, which
     may cascade.
 
+    Each touched block is probed exactly once (a visited set covers
+    blocks that can never enter the result, e.g. max-level leaves
+    repeatedly rediscovered by their neighbors), and probes share one
+    depth limit, so closure cost is linear in the touched region rather
+    than O(touched x n).
+
     The input forest must already be 2:1 balanced.
     """
     result: Set[BlockIndex] = set()
+    seen: Set[BlockIndex] = set()
+    depth_limit = forest.max_level
     # Effective level of each region after refinement = leaf level + 1 if
     # refined.  Work queue of blocks whose refinement may force neighbors.
     queue: List[BlockIndex] = [b for b in to_refine if b in forest]
@@ -82,15 +174,16 @@ def enforce_two_one_balance(
     while queue:
         b = queue.pop()
         pending.discard(b)
-        if b in result:
+        if b in seen:
             continue
+        seen.add(b)
         if b.level >= forest.max_level:
             continue
         result.add(b)
         # After refining b, its children are at b.level + 1.  Any leaf
         # neighbor at level <= b.level - 1 would now differ by >= 2.
-        for nb in find_neighbors(forest, b):
-            if nb.level < b.level and nb not in result and nb not in pending:
+        for nb in find_neighbors(forest, b, depth_limit=depth_limit):
+            if nb.level < b.level and nb not in seen and nb not in pending:
                 pending.add(nb)
                 queue.append(nb)
     return result
@@ -110,8 +203,9 @@ def _coarsen_is_safe(
     sibling set is being merged.
     """
     children = parent.children()
+    depth_limit = forest.max_level
     for child in children:
-        for nb in find_neighbors(forest, child):
+        for nb in find_neighbors(forest, child, depth_limit=depth_limit):
             if nb in children:
                 continue
             lvl = nb.level
@@ -124,12 +218,19 @@ def _coarsen_is_safe(
     return True
 
 
-def apply_tags(forest: OctreeForest, tags: RefinementTags) -> Tuple[int, int]:
-    """Apply tags to the forest in place; returns ``(n_refined, n_coarsened)``.
+def apply_tags(
+    forest: OctreeForest, tags: RefinementTags, collect_halo: bool = True
+) -> RemeshDelta:
+    """Apply tags to the forest in place; returns a :class:`RemeshDelta`.
 
     Refinement wins over coarsening: the refine set is first closed under
     2:1 balance, then coarsening is applied only to full sibling sets
     whose merge does not violate balance against the post-refinement mesh.
+
+    The returned delta still unpacks as ``(n_refined, n_coarsened)``.
+    ``collect_halo=False`` skips the pre-mutation halo probe — callers
+    holding a cached neighbor graph read the same set off its edge rows
+    for free, so probing it here would be pure overhead.
     """
     refine = enforce_two_one_balance(forest, set(tags.refine))
 
@@ -150,11 +251,31 @@ def apply_tags(forest: OctreeForest, tags: RefinementTags) -> Tuple[int, int]:
         if _coarsen_is_safe(forest, p, refine, accepted):
             accepted.add(p)
 
-    for b in sorted(refine, key=lambda x: (x.level, x.coords)):
+    refined = sorted(refine, key=lambda x: (x.level, x.coords))
+    coarsened = sorted(accepted, key=lambda x: (x.level, x.coords))
+
+    # Halo: surviving pre-op neighbors of every removed leaf, probed
+    # before mutation so they match the cached graph's adjacency.
+    halo: Set[BlockIndex] = set()
+    if collect_halo:
+        removed: Set[BlockIndex] = set(refined)
+        for p in coarsened:
+            removed.update(p.children())
+        depth_limit = forest.max_level
+        for b in removed:
+            for nb in find_neighbors(forest, b, depth_limit=depth_limit):
+                if nb not in removed:
+                    halo.add(nb)
+
+    for b in refined:
         forest.refine(b)
-    for p in sorted(accepted, key=lambda x: (x.level, x.coords)):
+    for p in coarsened:
         forest.coarsen(p.children()[0])
-    return len(refine), len(accepted)
+    return RemeshDelta(
+        refined=tuple(refined),
+        coarsened=tuple(coarsened),
+        halo=tuple(sorted(halo, key=lambda x: (x.level, x.coords))),
+    )
 
 
 def tag_by_predicate(

@@ -5,7 +5,11 @@ Times the hot paths the repo's performance claims rest on —
 * **policy kernels**: LPT, restricted CDP, chunked CDP, and CPLX-50
   placement at several problem sizes (the Fig. 7c axis);
 * **mesh ops**: SFC block sort and vectorized neighbor discovery on a
-  randomly refined octree;
+  randomly refined octree, plus incremental remesh-metadata splicing vs
+  a full rebuild for a small tag set (the delta-update headline);
+* **scalebench metadata**: one sharded placement pass at beyond-paper
+  rank counts (128K+), timing per-shard cost/SFC materialization and
+  the streamed makespan reduction;
 * **epoch loop**: the end-to-end :class:`~repro.engine.EpochEngine`
   over a reduced Sedov trajectory, with the epoch-pipeline cache off
   and on (the cached-vs-uncached headline);
@@ -39,12 +43,13 @@ import os
 import platform
 import statistics
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
     "PROFILES",
+    "SECTIONS",
     "run_bench",
     "write_bench",
     "load_bench",
@@ -65,6 +70,7 @@ PROFILES: Dict[str, Dict] = {
         "epoch_ranks": 32,
         "epoch_steps": 120,
         "epoch_repeats": 2,
+        "scalebench": {"ranks": 131072, "shard_ranks": 4096, "repeats": 1},
         "sweep": None,
         "executor": {"cells": 8, "jobs": 2, "repeats": 5, "work": 48},
         "telemetry": {"partitions": 12, "rows_per_partition": 4_000, "repeats": 3},
@@ -82,6 +88,7 @@ PROFILES: Dict[str, Dict] = {
         "epoch_ranks": 64,
         "epoch_steps": 400,
         "epoch_repeats": 3,
+        "scalebench": {"ranks": 131072, "shard_ranks": 4096, "repeats": 2},
         "sweep": {
             "scales": (512,),
             "steps": 120,
@@ -104,6 +111,7 @@ PROFILES: Dict[str, Dict] = {
         "epoch_ranks": 128,
         "epoch_steps": 1000,
         "epoch_repeats": 3,
+        "scalebench": {"ranks": 1048576, "shard_ranks": 4096, "repeats": 1},
         "sweep": {
             "scales": (512, 1024),
             "steps": 400,
@@ -163,7 +171,9 @@ def _environment(profile: str) -> Dict:
 # sections
 # ---------------------------------------------------------------------- #
 
-def _bench_policies(params: Dict, metrics: Dict, log: Callable[[str], None]) -> None:
+def _bench_policies(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
     from ..bench.distributions import make_costs
     from ..core.policy import get_policy
 
@@ -180,9 +190,12 @@ def _bench_policies(params: Dict, metrics: Dict, log: Callable[[str], None]) -> 
             log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
 
 
-def _bench_mesh(params: Dict, metrics: Dict, log: Callable[[str], None]) -> None:
+def _bench_mesh(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
     from ..bench.commbench import random_refined_mesh
     from ..mesh.fast_neighbors import build_neighbor_graph_auto
+    from ..mesh.refinement import RefinementTags, apply_tags
     from ..mesh.sfc import sfc_sort_blocks
 
     rng = np.random.default_rng(7)
@@ -204,6 +217,97 @@ def _bench_mesh(params: Dict, metrics: Dict, log: Callable[[str], None]) -> None
         lambda: build_neighbor_graph_auto(mesh.forest), params["mesh_repeats"]
     )
     log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
+
+    # Incremental vs full remesh metadata: one refine-then-coarsen-back
+    # cycle of a single block (the common driver case — a few tags per
+    # step on a large mesh).  The incremental arm goes through the
+    # AmrMesh splice path on a graph-warmed mesh; the full arm applies
+    # the same tags and rebuilds the graph from scratch.  The warmup run
+    # absorbs any one-time 2:1 ripple refinements, after which the cycle
+    # is a fixed point of the forest.
+    _ = mesh.neighbor_graph
+    target = next(b for b in mesh.blocks if b.level < mesh.forest.max_level)
+
+    def cycle_incremental():
+        tags = RefinementTags()
+        tags.refine.add(target)
+        mesh.remesh(tags)
+        _ = mesh.neighbor_graph
+        back = RefinementTags()
+        back.coarsen.update(target.children())
+        mesh.remesh(back)
+        _ = mesh.neighbor_graph
+
+    def cycle_full():
+        tags = RefinementTags()
+        tags.refine.add(target)
+        apply_tags(mesh.forest, tags, collect_halo=False)
+        build_neighbor_graph_auto(mesh.forest)
+        back = RefinementTags()
+        back.coarsen.update(target.children())
+        apply_tags(mesh.forest, back, collect_halo=False)
+        build_neighbor_graph_auto(mesh.forest)
+
+    inc = f"mesh.remesh_incremental.n{n}"
+    metrics[inc] = _time_case(cycle_incremental, params["mesh_repeats"])
+    full = f"mesh.remesh_full.n{n}"
+    metrics[full] = _time_case(cycle_full, params["mesh_repeats"])
+    # cycle_full mutated the forest behind the mesh's caches; drop them
+    # so later consumers of ``mesh`` never see a stale graph.
+    mesh._invalidate()
+    derived["mesh.remesh_incremental_speedup"] = (
+        metrics[full]["median_s"] / metrics[inc]["median_s"]
+    )
+    log(
+        f"remesh metadata: incremental {metrics[inc]['median_s'] * 1e3:.2f} ms, "
+        f"full rebuild {metrics[full]['median_s'] * 1e3:.2f} ms "
+        f"({derived['mesh.remesh_incremental_speedup']:.2f}x)"
+    )
+
+
+def _bench_scalebench(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    """Sharded scalebench metadata path at beyond-paper rank counts.
+
+    Times one :func:`~repro.bench.scalebench._place_sharded` pass —
+    cost/SFC materialization, placement, and the streamed makespan
+    reduction over every shard — and reports the peak per-shard metadata
+    footprint as a fraction of the global table it replaces.
+    """
+    from ..bench.scalebench import ScalebenchConfig, _ScalebenchCell, _place_sharded
+    from ..core.policy import get_policy
+
+    sb = params["scalebench"]
+    if sb is None:
+        return
+    config = ScalebenchConfig(
+        scales=(sb["ranks"],), shard_ranks=sb["shard_ranks"]
+    )
+    cell = _ScalebenchCell(
+        config=config, n_ranks=sb["ranks"], distribution="exponential", x=50.0
+    )
+    policy = get_policy("cplx:50")
+    shard_ranks = config.effective_shard_ranks(cell.n_ranks)
+    peak = {"bytes": 0}
+
+    def run():
+        _norm, _elapsed, peak_bytes = _place_sharded(
+            policy, cell, config.seed + cell.n_ranks, shard_ranks
+        )
+        peak["bytes"] = peak_bytes
+
+    metric = f"scalebench.metadata.r{sb['ranks'] // 1024}k"
+    metrics[metric] = _time_case(run, sb["repeats"])
+    # cost (float64) + sfc_id (int64) per block, as the global table
+    # would materialize them in one shot.
+    global_bytes = int(cell.n_ranks * config.blocks_per_rank) * 16
+    derived["scalebench.shard_mem_frac"] = peak["bytes"] / global_bytes
+    log(
+        f"{metric}: {metrics[metric]['median_s']:.2f} s, peak shard "
+        f"{peak['bytes'] / 2**20:.1f} MiB "
+        f"({derived['scalebench.shard_mem_frac']:.4f} of global table)"
+    )
 
 
 def _bench_epoch_loop(
@@ -608,6 +712,23 @@ def _bench_service(
 # entry points
 # ---------------------------------------------------------------------- #
 
+#: The single ordered registry of bench sections.  Every entry point —
+#: the CLI ``repro bench``, the smoke tests, baseline refreshes — runs
+#: exactly this list, so a kernel registered here shows up identically
+#: everywhere; there is no second list to keep in sync.  Each section
+#: has the uniform signature ``(params, metrics, derived, log)``.
+SECTIONS: Tuple[Tuple[str, Callable], ...] = (
+    ("policies", _bench_policies),
+    ("mesh", _bench_mesh),
+    ("scalebench", _bench_scalebench),
+    ("epoch", _bench_epoch_loop),
+    ("sweep", _bench_sweep),
+    ("executor", _bench_executor),
+    ("telemetry", _bench_telemetry),
+    ("service", _bench_service),
+)
+
+
 def run_bench(
     profile: str = "quick", verbose: bool = False
 ) -> Dict:
@@ -618,13 +739,8 @@ def run_bench(
     log: Callable[[str], None] = print if verbose else (lambda _msg: None)
     metrics: Dict[str, Dict] = {}
     derived: Dict[str, float] = {}
-    _bench_policies(params, metrics, log)
-    _bench_mesh(params, metrics, log)
-    _bench_epoch_loop(params, metrics, derived, log)
-    _bench_sweep(params, metrics, derived, log)
-    _bench_executor(params, metrics, derived, log)
-    _bench_telemetry(params, metrics, derived, log)
-    _bench_service(params, metrics, derived, log)
+    for _name, section in SECTIONS:
+        section(params, metrics, derived, log)
     return {"meta": _environment(profile), "metrics": metrics, "derived": derived}
 
 

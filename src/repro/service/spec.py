@@ -169,6 +169,14 @@ def _scalebench_config(params: Mapping):
     return ScalebenchConfig(
         scales=tuple(params.get("scales", (512, 2048, 8192))),
         repeats=int(params.get("repeats", 3)),
+        distributions=tuple(
+            params.get("distributions",
+                       ("exponential", "gaussian", "power-law"))
+        ),
+        x_values=tuple(
+            float(x) for x in params.get("x_values", (0.0, 25.0, 50.0, 75.0, 100.0))
+        ),
+        shard_ranks=int(params.get("shard_ranks", 0)),
     )
 
 

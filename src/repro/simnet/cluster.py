@@ -156,17 +156,13 @@ class Cluster:
         evicted ranks map to −1 and must be re-materialized elsewhere.
         """
         ids = self._check_node_ids(node_ids, "evict")
-        bad = set(ids)
+        bad = np.zeros(self.n_nodes, dtype=bool)
+        bad[ids] = True
+        # Dense packing: surviving ranks keep their relative order, so
+        # the new numbering is just a running count over the keep mask.
+        keep = ~bad[np.arange(self.n_ranks) // self.ranks_per_node]
         out = np.full(self.n_ranks, -1, dtype=np.int64)
-        new_rank = 0
-        for nid in range(self.n_nodes):
-            n_here = self._ranks_on_node(nid)
-            base = nid * self.ranks_per_node
-            if nid in bad:
-                continue
-            for k in range(n_here):
-                out[base + k] = new_rank
-                new_rank += 1
+        out[keep] = np.arange(int(keep.sum()), dtype=np.int64)
         return out
 
     def unhealthy_nodes(self, threshold: float = 1.5) -> List[int]:

@@ -1,0 +1,535 @@
+"""Incremental remesh metadata: delta parity, splicing, sharded tables.
+
+The acceptance bar for the incremental path is *element identity*: after
+any legal tag sequence, the spliced neighbor graph must equal a from-
+scratch rebuild — same blocks, same edge rows in the same order, same
+kinds — not just the same edge set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh import (
+    AmrMesh,
+    BlockIndex,
+    IncrementalUpdateError,
+    RefinementTags,
+    RemeshDelta,
+    RootGrid,
+    ShardedBlockTable,
+    build_neighbor_graph_auto,
+    is_two_one_balanced,
+    splice_blocks,
+    update_neighbor_graph,
+)
+from repro.mesh.refinement import apply_tags, enforce_two_one_balance
+
+
+def graphs_identical(g1, g2) -> bool:
+    """Strict equality: blocks, edge ordering, and kinds all match."""
+    return (
+        g1.blocks == g2.blocks
+        and np.array_equal(g1.edges, g2.edges)
+        and np.array_equal(g1.kinds, g2.kinds)
+    )
+
+
+def assert_mesh_consistent(mesh: AmrMesh) -> None:
+    """Every cached derived structure matches a from-scratch rebuild."""
+    rebuilt = build_neighbor_graph_auto(mesh.forest)
+    assert graphs_identical(mesh.neighbor_graph, rebuilt)
+    assert mesh.blocks == mesh.forest.leaves_dfs()
+    assert mesh.blocks == mesh.neighbor_graph.blocks
+    for i, b in enumerate(mesh.blocks):
+        assert mesh.block_id(b) == i
+    coords, levels = mesh._geometry()
+    assert np.array_equal(
+        coords, np.asarray([b.coords for b in mesh.blocks], dtype=np.int64)
+    )
+    assert np.array_equal(
+        levels, np.asarray([b.level for b in mesh.blocks], dtype=np.int64)
+    )
+
+
+def warmed_mesh(shape, periodic, max_level=3) -> AmrMesh:
+    mesh = AmrMesh(RootGrid(shape, periodic=periodic), max_level=max_level)
+    mesh.incremental_max_fraction = 1.0  # always try the incremental path
+    _ = mesh.neighbor_graph
+    _ = mesh.levels()
+    return mesh
+
+
+def random_tags(mesh: AmrMesh, rng, p_refine=0.25, p_coarsen=0.25) -> RefinementTags:
+    leaves = sorted(mesh.forest.leaves(), key=lambda b: (b.level, b.coords))
+    refine = {
+        b for b in leaves
+        if b.level < mesh.forest.max_level and rng.random() < p_refine
+    }
+    coarsen = {
+        b for b in leaves
+        if b.level > 0 and b not in refine and rng.random() < p_coarsen
+    }
+    return RefinementTags(refine=refine, coarsen=coarsen)
+
+
+# ---------------------------------------------------------------------- #
+# RemeshDelta
+# ---------------------------------------------------------------------- #
+
+
+class TestRemeshDelta:
+    def test_unpacks_as_historical_tuple(self):
+        mesh = AmrMesh(RootGrid((2, 2)), max_level=2)
+        target = mesh.blocks[0]
+        n_ref, n_coars = mesh.remesh(RefinementTags(refine={target}))
+        assert (n_ref, n_coars) == (1, 0)
+
+    def test_bool_and_counts(self):
+        empty = RemeshDelta(refined=(), coarsened=())
+        assert not empty and not empty.changed
+        one = RemeshDelta(refined=(BlockIndex(0, (0, 0)),), coarsened=())
+        assert one and one.n_refined == 1 and one.n_coarsened == 0
+
+    def test_removed_added_touched(self):
+        b = BlockIndex(1, (0, 0))
+        p = BlockIndex(0, (1, 0))
+        d = RemeshDelta(refined=(b,), coarsened=(p,))
+        assert d.removed_blocks() == [b, *p.children()]
+        assert d.added_blocks() == [*b.children(), p]
+        # 2D: each event removes/adds 1 + 4 leaves
+        assert d.touched == 2 * (1 + 4)
+
+    def test_apply_tags_halo_matches_pre_op_neighbors(self):
+        forest = AmrMesh(RootGrid((4, 4)), max_level=2).forest
+        target = BlockIndex(0, (1, 1))
+        delta = apply_tags(forest, RefinementTags(refine={target}))
+        assert delta.refined == (target,)
+        # interior block of a 4x4 grid: all 8 surrounding roots survive
+        assert len(delta.halo) == 8
+        assert all(h.level == 0 for h in delta.halo)
+
+    def test_collect_halo_false_skips_probe(self):
+        forest = AmrMesh(RootGrid((4, 4)), max_level=2).forest
+        delta = apply_tags(
+            forest,
+            RefinementTags(refine={BlockIndex(0, (1, 1))}),
+            collect_halo=False,
+        )
+        assert delta.changed and delta.halo == ()
+
+
+# ---------------------------------------------------------------------- #
+# splice_blocks
+# ---------------------------------------------------------------------- #
+
+
+class TestSpliceBlocks:
+    def _mesh_and_delta(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        old_blocks = list(mesh.blocks)
+        id_of = {b: i for i, b in enumerate(old_blocks)}
+        delta = apply_tags(
+            mesh.forest, RefinementTags(refine={old_blocks[1]}), collect_halo=False
+        )
+        return mesh, old_blocks, id_of, delta
+
+    def test_matches_leaves_dfs(self):
+        mesh, old_blocks, id_of, delta = self._mesh_and_delta()
+        splice = splice_blocks(old_blocks, id_of, delta)
+        assert splice.blocks == mesh.forest.leaves_dfs()
+        # survivors keep relative order; removed map to -1
+        kept = [o for o, n in enumerate(splice.old_to_new) if n >= 0]
+        assert kept == [0, 2, 3]
+        assert splice.old_to_new[1] == -1
+        assert [splice.blocks[i] for i in splice.added] == list(
+            old_blocks[1].children()
+        )
+
+    def test_unknown_refined_block_raises(self):
+        _, old_blocks, id_of, _ = self._mesh_and_delta()
+        ghost = BlockIndex(1, (3, 3))
+        bad = RemeshDelta(refined=(ghost,), coarsened=())
+        with pytest.raises(IncrementalUpdateError):
+            splice_blocks(old_blocks, id_of, bad)
+
+    def test_non_contiguous_sibling_run_raises(self):
+        parent = BlockIndex(0, (0, 0))
+        kids = parent.children()
+        # interleave a stranger between the siblings
+        blocks = [kids[0], BlockIndex(0, (1, 1)), *kids[1:]]
+        id_of = {b: i for i, b in enumerate(blocks)}
+        bad = RemeshDelta(refined=(), coarsened=(parent,))
+        with pytest.raises(IncrementalUpdateError):
+            splice_blocks(blocks, id_of, bad)
+
+
+# ---------------------------------------------------------------------- #
+# incremental parity (Hypothesis)
+# ---------------------------------------------------------------------- #
+
+
+class TestIncrementalParity:
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_random_sequences_2d(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(int(rng.integers(1, 4)) for _ in range(2))
+        periodic = tuple(bool(rng.integers(2)) for _ in range(2))
+        mesh = warmed_mesh(shape, periodic)
+        for _ in range(4):
+            mesh.remesh(random_tags(mesh, rng))
+            assert_mesh_consistent(mesh)
+        assert is_two_one_balanced(mesh.forest)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=12, deadline=None)
+    def test_random_sequences_3d(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        periodic = tuple(bool(rng.integers(2)) for _ in range(3))
+        mesh = warmed_mesh((2, 2, 2), periodic)
+        for _ in range(3):
+            mesh.remesh(random_tags(mesh, rng))
+            assert_mesh_consistent(mesh)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_coarsen_then_refine_same_region(self, seed):
+        rng = np.random.default_rng(seed)
+        periodic = tuple(bool(rng.integers(2)) for _ in range(2))
+        mesh = warmed_mesh((2, 2), periodic)
+        target = mesh.blocks[int(rng.integers(len(mesh.blocks)))]
+        mesh.remesh(RefinementTags(refine={target}))
+        assert_mesh_consistent(mesh)
+        mesh.remesh(RefinementTags(coarsen=set(target.children())))
+        assert_mesh_consistent(mesh)
+        mesh.remesh(RefinementTags(refine={target}))
+        assert_mesh_consistent(mesh)
+        assert target not in mesh.forest
+        assert all(c in mesh.forest for c in target.children())
+
+    def test_incremental_path_actually_taken(self, monkeypatch):
+        import repro.mesh.mesh as mesh_mod
+
+        calls = {"n": 0}
+        real = mesh_mod.update_neighbor_graph
+
+        def spy(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(mesh_mod, "update_neighbor_graph", spy)
+        mesh = warmed_mesh((4, 4), (False, False))
+        mesh.remesh(RefinementTags(refine={mesh.blocks[0]}))
+        assert_mesh_consistent(mesh)
+        assert calls["n"] == 1
+
+    def test_update_without_precomputed_splice(self):
+        """update_neighbor_graph builds its own splice/id map if needed."""
+        mesh = warmed_mesh((2, 2), (True, False))
+        graph = mesh.neighbor_graph
+        delta = apply_tags(
+            mesh.forest,
+            RefinementTags(refine={graph.blocks[2]}),
+            collect_halo=False,
+        )
+        updated = update_neighbor_graph(graph, delta, mesh.forest)
+        assert graphs_identical(updated, build_neighbor_graph_auto(mesh.forest))
+
+    def test_noop_delta_returns_same_graph(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        graph = mesh.neighbor_graph
+        empty = RemeshDelta(refined=(), coarsened=())
+        assert update_neighbor_graph(graph, empty, mesh.forest) is graph
+
+
+# ---------------------------------------------------------------------- #
+# fallback behavior
+# ---------------------------------------------------------------------- #
+
+
+class TestFallback:
+    def test_large_delta_falls_back(self, monkeypatch):
+        import repro.mesh.mesh as mesh_mod
+
+        calls = {"n": 0}
+        real = mesh_mod.update_neighbor_graph
+
+        def spy(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(mesh_mod, "update_neighbor_graph", spy)
+        mesh = AmrMesh(RootGrid((2, 2)), max_level=3)
+        _ = mesh.neighbor_graph
+        mesh.incremental_max_fraction = 0.0  # nothing is "small"
+        mesh.remesh(RefinementTags(refine={mesh.blocks[0]}))
+        assert calls["n"] == 0
+        assert_mesh_consistent(mesh)
+
+    def test_stale_cache_falls_back_cleanly(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        # Mutate the forest behind the cache's back: the next delta can
+        # no longer be spliced into the cached lists.
+        mesh.forest.refine(mesh.forest.leaves_dfs()[-1])
+        mesh.remesh(RefinementTags(refine={mesh.forest.leaves_dfs()[0]}))
+        assert_mesh_consistent(mesh)
+
+    def test_generation_bumps_on_both_paths(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        g0 = mesh.generation
+        mesh.remesh(RefinementTags(refine={mesh.blocks[0]}))
+        assert mesh.generation == g0 + 1
+        mesh.incremental_max_fraction = 0.0
+        mesh.remesh(RefinementTags(refine={mesh.blocks[-1]}))
+        assert mesh.generation == g0 + 2
+
+    def test_noop_remesh_preserves_graph_object(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        graph = mesh.neighbor_graph
+        delta = mesh.remesh(RefinementTags())
+        assert not delta.changed
+        assert mesh.neighbor_graph is graph
+
+
+# ---------------------------------------------------------------------- #
+# block_id maintenance
+# ---------------------------------------------------------------------- #
+
+
+class TestBlockId:
+    def test_block_id_matches_list_index(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        mesh.remesh(RefinementTags(refine={mesh.blocks[1]}))
+        for i, b in enumerate(mesh.blocks):
+            assert mesh.block_id(b) == i
+
+    def test_block_id_rejects_non_leaf(self):
+        mesh = warmed_mesh((2, 2), (False, False))
+        target = mesh.blocks[0]
+        mesh.remesh(RefinementTags(refine={target}))
+        with pytest.raises(ValueError):
+            mesh.block_id(target)  # refined away — no longer a leaf
+
+
+# ---------------------------------------------------------------------- #
+# balance closure cost (deep cascade regression)
+# ---------------------------------------------------------------------- #
+
+
+class TestBalanceCascade:
+    def deep_gradient_forest(self, max_level=5):
+        """A corner-refined level gradient: the worst cascade shape."""
+        mesh = AmrMesh(RootGrid((2, 2)), max_level=max_level)
+        corner = BlockIndex(0, (0, 0))
+        # stop one level short so the deepest corner leaf is refinable
+        for _ in range(max_level - 1):
+            apply_tags(
+                mesh.forest, RefinementTags(refine={corner}), collect_halo=False
+            )
+            corner = corner.children()[0]
+        assert is_two_one_balanced(mesh.forest)
+        # The domain-corner leaf only has same-level siblings; its
+        # diagonal sibling abuts the coarser transition layers, so
+        # refining it ripples down the whole gradient.
+        far = BlockIndex(corner.level, tuple(c + 1 for c in corner.coords))
+        assert far in mesh.forest
+        return mesh.forest, far
+
+    def test_deep_cascade_closure_correct(self):
+        forest, corner = self.deep_gradient_forest()
+        closed = enforce_two_one_balance(forest, {corner})
+        assert corner in closed
+        assert len(closed) > 1  # the refinement ripples down the gradient
+        for b in closed:
+            forest.refine(b)
+        assert is_two_one_balanced(forest)
+
+    def test_closure_probes_each_block_once(self, monkeypatch):
+        import repro.mesh.refinement as refinement_mod
+
+        forest, corner = self.deep_gradient_forest()
+        calls = {"n": 0}
+        real = refinement_mod.find_neighbors
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(refinement_mod, "find_neighbors", counting)
+        closed = enforce_two_one_balance(forest, {corner})
+        # Linear closure: exactly one probe per block that enters the
+        # result — rediscovered or max-level blocks are never re-probed.
+        assert calls["n"] == len(closed)
+
+
+# ---------------------------------------------------------------------- #
+# ShardedBlockTable
+# ---------------------------------------------------------------------- #
+
+
+class TestShardedBlockTable:
+    def test_bounds_from_shard_blocks(self):
+        t = ShardedBlockTable(10, shard_blocks=4)
+        assert t.n_shards == 3
+        assert t.shard_sizes() == [4, 4, 2]
+        assert t.shard_bounds(2) == (8, 10)
+        with pytest.raises(IndexError):
+            t.shard_bounds(3)
+
+    def test_explicit_bounds_validation(self):
+        ShardedBlockTable(6, bounds=[0, 2, 6])
+        with pytest.raises(ValueError):
+            ShardedBlockTable(6, bounds=[1, 6])
+        with pytest.raises(ValueError):
+            ShardedBlockTable(6, bounds=[0, 4, 2, 6])
+        with pytest.raises(ValueError):
+            ShardedBlockTable(6, shard_blocks=2, bounds=[0, 6])
+        with pytest.raises(ValueError):
+            ShardedBlockTable(6)
+        with pytest.raises(ValueError):
+            ShardedBlockTable(6, shard_blocks=0)
+
+    def test_zero_blocks(self):
+        t = ShardedBlockTable(0, shard_blocks=8)
+        assert t.n_shards == 1 and t.shard_bounds(0) == (0, 0)
+
+    def test_column_length_enforced(self):
+        t = ShardedBlockTable(
+            8, shard_blocks=4,
+            columns={"bad": lambda s, lo, hi: np.zeros(hi - lo + 1)},
+        )
+        with pytest.raises(ValueError):
+            t.column(0, "bad")
+
+    def test_memory_accounting(self):
+        t = ShardedBlockTable(
+            12, shard_blocks=4,
+            columns={
+                "a": lambda s, lo, hi: np.arange(lo, hi, dtype=np.int64),
+                "b": lambda s, lo, hi: np.ones(hi - lo, dtype=np.float64),
+            },
+        )
+        for s in range(t.n_shards):
+            cols = t.materialize(s)
+            assert np.array_equal(cols["a"], np.arange(*t.shard_bounds(s)))
+        # peak = one shard's working set; total = every byte produced
+        assert t.peak_shard_bytes == 4 * 16
+        assert t.total_bytes == 12 * 16
+
+    def test_from_graph_edge_rows_cover_graph(self):
+        mesh = warmed_mesh((2, 2), (True, True))
+        mesh.remesh(RefinementTags(refine={mesh.blocks[0]}))
+        graph = mesh.neighbor_graph
+        table = ShardedBlockTable.from_graph(graph, shard_blocks=3)
+        seen_edges, seen_kinds = [], []
+        for s in range(table.n_shards):
+            lo, hi = table.shard_bounds(s)
+            edges, kinds = table.edge_rows(s)
+            assert np.all((edges[:, 0] >= lo) & (edges[:, 0] < hi))
+            assert np.array_equal(
+                table.column(s, "level"),
+                np.asarray([b.level for b in graph.blocks[lo:hi]]),
+            )
+            seen_edges.append(edges)
+            seen_kinds.append(kinds)
+        assert np.array_equal(np.concatenate(seen_edges), graph.edges)
+        assert np.array_equal(np.concatenate(seen_kinds), graph.kinds)
+
+    def test_edge_rows_requires_graph(self):
+        t = ShardedBlockTable(4, shard_blocks=2)
+        with pytest.raises(ValueError):
+            t.edge_rows(0)
+
+
+# ---------------------------------------------------------------------- #
+# sharded scalebench
+# ---------------------------------------------------------------------- #
+
+
+class TestShardedScalebench:
+    def test_effective_shard_ranks_policy(self):
+        from repro.bench.scalebench import (
+            AUTO_SHARD_MIN_RANKS,
+            AUTO_SHARD_RANKS,
+            ScalebenchConfig,
+        )
+
+        auto = ScalebenchConfig()
+        assert auto.effective_shard_ranks(512) is None
+        assert auto.effective_shard_ranks(AUTO_SHARD_MIN_RANKS - 1) is None
+        assert auto.effective_shard_ranks(AUTO_SHARD_MIN_RANKS) == AUTO_SHARD_RANKS
+        forced = ScalebenchConfig(shard_ranks=64)
+        assert forced.effective_shard_ranks(512) == 64
+        assert forced.effective_shard_ranks(32) == 32
+        with pytest.raises(ValueError):
+            ScalebenchConfig(shard_ranks=-1)
+
+    def test_single_shard_matches_global_path(self):
+        from repro.bench.scalebench import (
+            ScalebenchConfig,
+            run_scalebench,
+            scalebench_digest,
+        )
+
+        base = dict(
+            scales=(256,),
+            distributions=("exponential", "gaussian"),
+            x_values=(0.0, 50.0),
+            repeats=2,
+        )
+        rows_global = run_scalebench(ScalebenchConfig(**base))
+        rows_sharded = run_scalebench(ScalebenchConfig(**base, shard_ranks=256))
+        assert scalebench_digest(rows_global) == scalebench_digest(rows_sharded)
+        for g, s in zip(rows_global, rows_sharded):
+            assert g.norm_makespan == s.norm_makespan
+
+    def test_multi_shard_memory_is_shard_sized(self):
+        from repro.bench.scalebench import (
+            ScalebenchConfig,
+            _place_sharded,
+            _ScalebenchCell,
+        )
+        from repro.core.policy import get_policy
+
+        config = ScalebenchConfig(scales=(512,), shard_ranks=64, repeats=1)
+        cell = _ScalebenchCell(
+            config=config, n_ranks=512, distribution="exponential", x=50.0
+        )
+        norm, elapsed, peak = _place_sharded(get_policy("cplx:50"), cell, 7, 64)
+        assert norm >= 1.0 and elapsed >= 0.0
+        # peak shard working set: cost (f64) + sfc_id (i64) per block of
+        # ONE 64-rank window, not the 512-rank global table
+        assert peak == int(64 * config.blocks_per_rank) * 16
+
+    def test_spec_params_reach_config(self):
+        from repro.service import spec_from_params
+
+        spec = spec_from_params(
+            "scalebench",
+            {
+                "scales": [128],
+                "repeats": 1,
+                "distributions": ["gaussian"],
+                "x_values": [50.0],
+                "shard_ranks": 32,
+            },
+        )
+        cfg = spec.config
+        assert cfg.scales == (128,)
+        assert cfg.distributions == ("gaussian",)
+        assert cfg.x_values == (50.0,)
+        assert cfg.shard_ranks == 32
+
+    def test_cli_shard_flags_end_to_end(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "scalebench", "--scales", "64", "--repeats", "1",
+            "--distributions", "exponential", "--x-values", "50",
+            "--shard-ranks", "16",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalized makespan @ 64 ranks" in out

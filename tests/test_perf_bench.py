@@ -8,6 +8,7 @@ import pytest
 from repro.cli import main
 from repro.perf.bench import (
     PROFILES,
+    SECTIONS,
     compare_bench,
     format_bench,
     load_bench,
@@ -77,11 +78,41 @@ class TestRunBench:
         # <= 10% on an end-to-end submit vs the in-memory service.
         assert smoke_result["derived"]["service.jobstore_overhead_ratio"] <= 1.10
 
+    def test_mesh_remesh_incremental_gate(self, smoke_result):
+        metrics = smoke_result["metrics"]
+        names = {n.rsplit(".n", 1)[0] for n in metrics if n.startswith("mesh.remesh")}
+        assert names == {"mesh.remesh_incremental", "mesh.remesh_full"}
+        # The acceptance bar from the ISSUE: splicing the neighbor graph
+        # for a small tag set must beat a full metadata rebuild by >= 3x.
+        assert smoke_result["derived"]["mesh.remesh_incremental_speedup"] >= 3.0
+
+    def test_scalebench_metadata_kernel(self, smoke_result):
+        metrics = smoke_result["metrics"]
+        assert "scalebench.metadata.r128k" in metrics
+        # Peak per-shard metadata must be the shard's share of the global
+        # table (4096 of 131072 ranks), not the whole table.
+        frac = smoke_result["derived"]["scalebench.shard_mem_frac"]
+        assert 0.0 < frac <= 4096 / 131072 + 1e-12
+
     def test_profiles_cover_sweep_only_beyond_smoke(self):
         assert PROFILES["smoke"]["sweep"] is None
         assert PROFILES["quick"]["sweep"] is not None
         for profile in PROFILES.values():
             assert profile["executor"]["cells"] >= profile["executor"]["jobs"]
+
+    def test_section_registry_is_the_single_source(self):
+        import inspect
+
+        names = [n for n, _ in SECTIONS]
+        assert len(names) == len(set(names))
+        # Every profile declares the same knob set, so a registered
+        # kernel behaves identically under smoke/quick/full — and the
+        # CLI, the tests, and baseline refreshes all iterate SECTIONS.
+        keysets = {name: set(p) for name, p in PROFILES.items()}
+        assert keysets["smoke"] == keysets["quick"] == keysets["full"]
+        # Uniform signature: (params, metrics, derived, log).
+        for _name, fn in SECTIONS:
+            assert len(inspect.signature(fn).parameters) == 4
 
     def test_roundtrip_and_format(self, smoke_result, tmp_path):
         path = tmp_path / "BENCH_core.json"
