@@ -36,6 +36,6 @@ Quickstart
 1.08
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = ["__version__"]

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..core.context import PlacementContext
 from ..core.policy import PlacementPolicy, PlacementResult
 from ..mesh.geometry import BlockIndex
 from ..simnet.machine import FabricSpec
@@ -130,6 +131,7 @@ def prepare_redistribution(
     prev_assignment: Optional[np.ndarray],
     fabric: FabricSpec,
     block_bytes: float = BLOCK_BYTES_DEFAULT,
+    ctx: Optional[PlacementContext] = None,
 ) -> RedistributionPlan:
     """Phase one: run the policy and build the migration plan.
 
@@ -138,8 +140,14 @@ def prepare_redistribution(
     every migrating block crosses the fabric once; per-rank transfers
     overlap, so the charge is the max over ranks of bytes in+out at the
     remote bandwidth (in cells/s, block payloads converted accordingly).
+
+    ``ctx`` is forwarded to the policy so capacity-aware policies can
+    weight placement by hardware class (``None`` keeps the historical
+    call path bit for bit).
     """
-    result = policy.place(costs, n_ranks)
+    result = policy.place(costs, n_ranks, ctx=ctx) if ctx is not None else policy.place(
+        costs, n_ranks
+    )
     empty = np.empty(0, dtype=np.int64)
     if prev_assignment is None:
         return RedistributionPlan(result, None, 0, 0.0, empty, empty)
@@ -210,10 +218,11 @@ def redistribute(
     prev_assignment: Optional[np.ndarray],
     fabric: FabricSpec,
     block_bytes: float = BLOCK_BYTES_DEFAULT,
+    ctx: Optional[PlacementContext] = None,
 ) -> RedistributionOutcome:
     """One-shot prepare + commit (the reliable-fabric fast path)."""
     return commit_redistribution(
         prepare_redistribution(
-            policy, costs, n_ranks, prev_assignment, fabric, block_bytes
+            policy, costs, n_ranks, prev_assignment, fabric, block_bytes, ctx=ctx
         )
     )

@@ -13,6 +13,7 @@ from .scalebench import (
     ScalebenchConfig,
     ScalebenchResult,
     ScalebenchRow,
+    hetero_ucurve_table,
     makespan_table,
     overhead_table,
     run_scalebench,
@@ -51,6 +52,7 @@ __all__ = [
     "cplx_label",
     "format_series",
     "format_table",
+    "hetero_ucurve_table",
     "make_costs",
     "makespan_table",
     "overhead_table",

@@ -50,6 +50,7 @@ __all__ = [
     "ScalebenchConfig",
     "ScalebenchRow",
     "ScalebenchResult",
+    "hetero_ucurve_table",
     "run_scalebench",
     "run_scalebench_supervised",
     "scalebench_digest",
@@ -72,6 +73,15 @@ class ScalebenchConfig:
     on the historical global path; a positive value forces that window
     size for every cell.  A cell whose window covers all its ranks is
     bit-identical to the global path.
+
+    ``node_classes`` (e.g. ``"fast:0.5x16,slow:1.0x48"``, see
+    :func:`repro.simnet.cluster.parse_node_classes`) switches the sweep
+    to mixed hardware: each cell builds the corresponding heterogeneous
+    cluster, places with the capacity-aware ``hetero-cplx:X`` arm, and
+    reports the *capacity-weighted* normalized makespan — so 1.0 still
+    means perfectly balanced for that hardware mix, and the U-curve
+    across X stays directly comparable to the homogeneous sweep.
+    ``None`` (the default) keeps the historical sweep bit for bit.
     """
 
     scales: Tuple[int, ...] = (512, 2048, 8192)
@@ -81,6 +91,7 @@ class ScalebenchConfig:
     repeats: int = 3
     seed: int = 0
     shard_ranks: int = 0
+    node_classes: Optional[str] = None
 
     def __post_init__(self) -> None:
         unknown = set(self.distributions) - set(COST_DISTRIBUTIONS)
@@ -88,6 +99,10 @@ class ScalebenchConfig:
             raise ValueError(f"unknown distributions: {sorted(unknown)}")
         if self.shard_ranks < 0:
             raise ValueError("shard_ranks must be >= 0 (0 = auto)")
+        if self.node_classes is not None:
+            from ..simnet.cluster import parse_node_classes
+
+            parse_node_classes(self.node_classes)  # fail fast on bad specs
 
     def effective_shard_ranks(self, n_ranks: int) -> Optional[int]:
         """Rank-window size for one cell, or ``None`` for the global path."""
@@ -129,8 +144,28 @@ def _shard_seed(base_seed: int, shard: int) -> int:
     return base_seed + 104729 * shard
 
 
+def _cell_context(cell: "_ScalebenchCell"):
+    """The cell's :class:`PlacementContext`, or ``None`` (homogeneous)."""
+    if cell.config.node_classes is None:
+        return None
+    from ..simnet.cluster import hetero_cluster
+
+    return hetero_cluster(cell.n_ranks, cell.config.node_classes).placement_context()
+
+
+def _slice_ctx(ctx, lo: int, hi: int):
+    """Rank-window slice of a context (sharded path)."""
+    if ctx is None:
+        return None
+    return dataclasses.replace(
+        ctx,
+        rank_speed=ctx.rank_speed[lo:hi],
+        rank_nic_gbps=ctx.rank_nic_gbps[lo:hi],
+    )
+
+
 def _place_sharded(
-    policy, cell: "_ScalebenchCell", base_seed: int, shard_ranks: int
+    policy, cell: "_ScalebenchCell", base_seed: int, shard_ranks: int, ctx=None
 ) -> Tuple[float, float, int]:
     """One repeat of one cell through the sharded block-table path.
 
@@ -163,15 +198,26 @@ def _place_sharded(
     for s in range(table.n_shards):
         cols = table.materialize(s)
         costs = cols["cost"]
-        ranks_s = rank_bounds[s + 1] - rank_bounds[s]
-        result = policy.place(costs, ranks_s)
-        loads = np.bincount(
-            result.assignment, weights=costs, minlength=ranks_s
-        ).astype(np.float64)
+        lo, hi = rank_bounds[s], rank_bounds[s + 1]
+        ranks_s = hi - lo
+        sub_ctx = _slice_ctx(ctx, lo, hi)
+        if sub_ctx is not None:
+            result = policy.place(costs, ranks_s, ctx=sub_ctx)
+            loads = np.bincount(
+                result.assignment, weights=costs, minlength=ranks_s
+            ).astype(np.float64)
+            # completion times: raw shard loads over the window's speeds
+            loads = loads / sub_ctx.rank_speed
+        else:
+            result = policy.place(costs, ranks_s)
+            loads = np.bincount(
+                result.assignment, weights=costs, minlength=ranks_s
+            ).astype(np.float64)
         max_load = max(max_load, float(loads.max()) if ranks_s else 0.0)
         total += float(costs.sum())
         elapsed += result.elapsed_s
-    norm = max_load / (total / n_ranks) if total > 0 else 1.0
+    denom = n_ranks if ctx is None else ctx.total_capacity()
+    norm = max_load / (total / denom) if total > 0 else 1.0
     return norm, elapsed, table.peak_shard_bytes
 
 
@@ -179,7 +225,10 @@ def _run_scalebench_cell(cell: _ScalebenchCell) -> ScalebenchRow:
     """Execute one cell; the cost seed is derived from the cell alone."""
     config = cell.config
     n_blocks = int(cell.n_ranks * config.blocks_per_rank)
-    policy = get_policy(f"cplx:{cell.x}")
+    ctx = _cell_context(cell)
+    policy = get_policy(
+        f"cplx:{cell.x}" if ctx is None else f"hetero-cplx:{cell.x}"
+    )
     shard_ranks = config.effective_shard_ranks(cell.n_ranks)
     ms = []
     ts = []
@@ -187,12 +236,22 @@ def _run_scalebench_cell(cell: _ScalebenchCell) -> ScalebenchRow:
         base_seed = config.seed + 7919 * rep + cell.n_ranks
         if shard_ranks is None:
             costs = make_costs(cell.distribution, n_blocks, seed=base_seed)
-            result = policy.place(costs, cell.n_ranks)
-            ms.append(normalized_makespan(costs, result.assignment, cell.n_ranks))
+            if ctx is None:
+                result = policy.place(costs, cell.n_ranks)
+                ms.append(
+                    normalized_makespan(costs, result.assignment, cell.n_ranks)
+                )
+            else:
+                result = policy.place(costs, cell.n_ranks, ctx=ctx)
+                ms.append(
+                    normalized_makespan(
+                        costs, result.assignment, cell.n_ranks, ctx=ctx
+                    )
+                )
             ts.append(result.elapsed_s)
         else:
             norm, elapsed, _peak = _place_sharded(
-                policy, cell, base_seed, shard_ranks
+                policy, cell, base_seed, shard_ranks, ctx=ctx
             )
             ms.append(norm)
             ts.append(elapsed)
@@ -300,6 +359,58 @@ def makespan_table(rows: Sequence[ScalebenchRow]) -> str:
             )
         )
     return "\n\n".join(out)
+
+
+def hetero_ucurve_table(rows: Sequence[ScalebenchRow], node_classes: str) -> str:
+    """Does the paper's U-curve in X survive heterogeneity? (text report)
+
+    For each (scale, distribution) the sweep's capacity-weighted
+    normalized makespan is minimized at some X*; the paper's
+    homogeneous result (Fig. 7b) is an *interior* optimum — locality-
+    destroying full rebalance (X=100) and pure contiguous placement
+    (X=0) both lose to a mix.  This table reports X* per cell on the
+    mixed-hardware cluster and whether the optimum stayed interior
+    ("U survives") or collapsed to an endpoint.
+    """
+    xs = sorted({r.x for r in rows})
+    if len(xs) < 3:
+        return f"hetero U-curve: need >= 3 X values to assess (classes={node_classes})"
+    body = []
+    for n_ranks in sorted({r.n_ranks for r in rows}):
+        for d in sorted({r.distribution for r in rows if r.n_ranks == n_ranks}):
+            vals = {
+                r.x: r.norm_makespan
+                for r in rows
+                if r.n_ranks == n_ranks and r.distribution == d
+            }
+            if set(xs) - set(vals):
+                continue
+            best_x = min(xs, key=lambda x: vals[x])
+            interior = xs[0] < best_x < xs[-1]
+            body.append(
+                [
+                    n_ranks,
+                    d,
+                    cplx_label(best_x),
+                    round(vals[best_x], 4),
+                    round(vals[xs[0]], 4),
+                    round(vals[xs[-1]], 4),
+                    "yes" if interior else "no",
+                ]
+            )
+    return format_table(
+        [
+            "ranks",
+            "distribution",
+            "best",
+            "best norm-mk",
+            cplx_label(xs[0]),
+            cplx_label(xs[-1]),
+            "U survives",
+        ],
+        body,
+        title=f"U-curve under heterogeneity (node classes: {node_classes})",
+    )
 
 
 def overhead_table(rows: Sequence[ScalebenchRow]) -> str:

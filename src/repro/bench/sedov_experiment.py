@@ -75,6 +75,17 @@ class SedovSweepConfig:
     driver: DriverConfig = dataclasses.field(default_factory=DriverConfig)
     #: attach a PhaseProfilerHook to every arm (``PolicyOutcome.profile``)
     profile: bool = False
+    #: mixed-hardware cluster spec (``fast:0.5x16,slow:1.0x48``); ``None``
+    #: keeps the historical homogeneous sweep bit for bit
+    node_classes: Optional[str] = None
+
+    def sweep_cluster(self, n_ranks: int) -> Cluster:
+        """The cluster a cell at ``n_ranks`` runs on."""
+        if self.node_classes is None:
+            return Cluster(n_ranks=n_ranks)
+        from ..simnet.cluster import hetero_cluster
+
+        return hetero_cluster(n_ranks, self.node_classes)
 
     def sedov_config(self, n_ranks: int) -> SedovConfig:
         if self.paper_scale:
@@ -330,18 +341,19 @@ def _run_sweep_cell(cell: _SweepCell) -> Tuple[PolicyOutcome, Dict[str, int]]:
     config = cell.config
     sedov_cfg = config.sedov_config(cell.scale)
     trajectory = _scale_trajectory(sedov_cfg)
-    cluster = Cluster(n_ranks=cell.scale)
+    cluster = config.sweep_cluster(cell.scale)
     policy = get_policy(cell.policy)
     profiler = PhaseProfilerHook() if config.profile else None
     summary = run_trajectory(
         policy, trajectory, cluster, config.driver,
         hooks=[profiler] if profiler else None,
     )
-    label = (
-        cplx_label(float(cell.policy.split(":")[1]))
-        if cell.policy.startswith("cplx:")
-        else cell.policy
-    )
+    if cell.policy.startswith("cplx:"):
+        label = cplx_label(float(cell.policy.split(":")[1]))
+    elif cell.policy.startswith("hetero-cplx:"):
+        label = "H" + cplx_label(float(cell.policy.split(":")[1]))
+    else:
+        label = cell.policy
     outcome = PolicyOutcome(
         scale=cell.scale,
         policy_label=label,

@@ -110,6 +110,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "'loss=0.05,dup=0.01,reorder=0.02,retries=4,seed=7' "
                    "(keys: loss dup reorder reorder_delay timeout backoff "
                    "retries bad_link_factor seed)")
+    s.add_argument("--node-classes", metavar="SPEC", default=None,
+                   help="mixed-hardware cluster spec, e.g. "
+                   "'fast:0.5x16,slow:1.0x48' (name:TIMExCOUNT[@NIC] "
+                   "entries; TIME is a compute-time factor, counts are "
+                   "node proportions)")
 
     c = sub.add_parser("commbench", help="Fig. 7a locality microbenchmark")
     c.add_argument("--ranks", type=int, default=512)
@@ -130,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rank-window size for sharded block tables "
                    "(0 = auto: shard cells >= 16384 ranks into 4096-rank "
                    "windows; smaller cells keep the global path)")
+    b.add_argument("--node-classes", metavar="SPEC", default=None,
+                   help="mixed-hardware cluster spec, e.g. "
+                   "'fast:0.5x16,slow:1.0x48'; switches the sweep to the "
+                   "capacity-aware hetero-cplx arms and capacity-weighted "
+                   "normalized makespan")
 
     sub.add_parser("tuning", help="Figs. 1-3 tuning case studies")
 
@@ -303,18 +313,19 @@ def _cmd_sedov(args) -> int:
 
     if args.traj_cache is not None:
         os.environ[CACHE_ENV] = args.traj_cache
-    return _run_spec(
-        "sedov",
-        {
-            "scales": args.scales,
-            "policies": args.policies,
-            "steps": args.steps,
-            "paper_scale": args.paper_scale,
-            "profile": args.profile,
-            "transport_faults": args.transport_faults,
-        },
-        args,
-    )
+    params = {
+        "scales": args.scales,
+        "policies": args.policies,
+        "steps": args.steps,
+        "paper_scale": args.paper_scale,
+        "profile": args.profile,
+        "transport_faults": args.transport_faults,
+    }
+    # Key present only when requested: existing homogeneous invocations
+    # keep their historical params dict (and any derived journal keys).
+    if args.node_classes is not None:
+        params["node_classes"] = args.node_classes
+    return _run_spec("sedov", params, args)
 
 
 def _cmd_commbench(args) -> int:
@@ -330,17 +341,16 @@ def _cmd_commbench(args) -> int:
 
 
 def _cmd_scalebench(args) -> int:
-    return _run_spec(
-        "scalebench",
-        {
-            "scales": args.scales,
-            "repeats": args.repeats,
-            "distributions": args.distributions,
-            "x_values": args.x_values,
-            "shard_ranks": args.shard_ranks,
-        },
-        args,
-    )
+    params = {
+        "scales": args.scales,
+        "repeats": args.repeats,
+        "distributions": args.distributions,
+        "x_values": args.x_values,
+        "shard_ranks": args.shard_ranks,
+    }
+    if args.node_classes is not None:
+        params["node_classes"] = args.node_classes
+    return _run_spec("scalebench", params, args)
 
 
 def _cmd_tuning(_args) -> int:

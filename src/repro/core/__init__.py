@@ -22,10 +22,24 @@ from .cdp import (
     counts_makespan,
 )
 from .chunked import ChunkedCDPPolicy, chunked_cdp_counts, split_chunks
+from .context import REFERENCE_NIC_GBPS, PlacementContext
 from .cplx import CPLX, select_rebalance_ranks
 from .graphpart import GraphPartitionPolicy, edge_cut, greedy_graph_partition, refine_partition
+from .hetero import (
+    HeteroCPLX,
+    HeteroILPPolicy,
+    HeteroLPTPolicy,
+    capacity_contiguous_counts,
+    hetero_lpt_assign,
+)
 from .zonal import ZonalPolicy
-from .ilp import BnBResult, makespan_lower_bound, solve_makespan_bnb
+from .ilp import (
+    BnBResult,
+    hetero_makespan_lower_bound,
+    makespan_lower_bound,
+    solve_hetero_makespan_bnb,
+    solve_makespan_bnb,
+)
 from .lpt import LPTPolicy, lpt_assign, lpt_assign_subset
 from .metrics import (
     DEFAULT_MESSAGE_WEIGHTS,
@@ -40,6 +54,7 @@ from .metrics import (
 from .policy import (
     PlacementPolicy,
     PlacementResult,
+    PolicyArgumentError,
     available_policies,
     get_policy,
     register_policy,
@@ -57,6 +72,9 @@ __all__ = [
     "ChunkedCDPPolicy",
     "DEFAULT_MESSAGE_WEIGHTS",
     "GraphPartitionPolicy",
+    "HeteroCPLX",
+    "HeteroILPPolicy",
+    "HeteroLPTPolicy",
     "ZonalPolicy",
     "edge_cut",
     "greedy_graph_partition",
@@ -65,10 +83,14 @@ __all__ = [
     "LoadStats",
     "MessageStats",
     "PAPER_BUDGET_S",
+    "PlacementContext",
     "PlacementPolicy",
     "PlacementResult",
+    "PolicyArgumentError",
+    "REFERENCE_NIC_GBPS",
     "assignment_from_counts",
     "available_policies",
+    "capacity_contiguous_counts",
     "cdp_full",
     "cdp_optimal_makespan",
     "cdp_restricted",
@@ -77,6 +99,8 @@ __all__ = [
     "contiguous_counts",
     "counts_makespan",
     "get_policy",
+    "hetero_lpt_assign",
+    "hetero_makespan_lower_bound",
     "load_stats",
     "lpt_assign",
     "lpt_assign_subset",
@@ -87,6 +111,7 @@ __all__ = [
     "normalized_makespan",
     "register_policy",
     "select_rebalance_ranks",
+    "solve_hetero_makespan_bnb",
     "solve_makespan_bnb",
     "split_chunks",
     "validate_assignment",

@@ -9,8 +9,11 @@ to 1, so count balance == cost balance under their model).
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from .context import PlacementContext
 from .policy import PlacementPolicy, register_policy
 
 __all__ = ["BaselinePolicy", "contiguous_counts", "assignment_from_counts"]
@@ -50,5 +53,12 @@ class BaselinePolicy(PlacementPolicy):
     swapped in as the control arm of every experiment.
     """
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
+        # A homogeneous algorithm: the context is accepted (uniform
+        # interface) but never changes the split.
         return assignment_from_counts(contiguous_counts(costs.shape[0], n_ranks))

@@ -20,9 +20,12 @@ Three solvers are provided:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from .baseline import assignment_from_counts
+from .context import PlacementContext
 from .policy import PlacementPolicy, register_policy
 
 __all__ = [
@@ -184,7 +187,12 @@ def cdp_optimal_makespan(costs: np.ndarray, n_ranks: int) -> float:
 class CDPPolicy(PlacementPolicy):
     """Locality-preserving load balance: restricted contiguous DP (CPL0 core)."""
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         return assignment_from_counts(cdp_restricted(costs, n_ranks))
 
 
@@ -192,5 +200,10 @@ class CDPPolicy(PlacementPolicy):
 class CDPFullPolicy(PlacementPolicy):
     """Unrestricted contiguous DP (ablation arm; O(n^2 r))."""
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         return assignment_from_counts(cdp_full(costs, n_ranks))

@@ -12,12 +12,13 @@ intermediate stage, where the loss is immaterial.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .baseline import assignment_from_counts
 from .cdp import cdp_restricted
+from .context import PlacementContext
 from .policy import PlacementPolicy, register_policy
 
 __all__ = ["ChunkedCDPPolicy", "split_chunks", "chunked_cdp_counts"]
@@ -126,7 +127,12 @@ class ChunkedCDPPolicy(PlacementPolicy):
         self.ranks_per_chunk = ranks_per_chunk
         self.parallel = parallel
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         counts = chunked_cdp_counts(
             costs, n_ranks, ranks_per_chunk=self.ranks_per_chunk, parallel=self.parallel
         )

@@ -18,10 +18,13 @@ CPLX therefore:
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from .baseline import assignment_from_counts
 from .chunked import chunked_cdp_counts
+from .context import PlacementContext
 from .lpt import lpt_assign
 from .policy import PlacementPolicy, register_policy
 
@@ -92,7 +95,12 @@ class CPLX(PlacementPolicy):
         x = self.x_percent
         return f"CPL{int(x) if x == int(x) else x}"
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         counts = chunked_cdp_counts(
             costs, n_ranks, ranks_per_chunk=self.ranks_per_chunk, parallel=self.parallel
         )

@@ -1,0 +1,258 @@
+"""Heterogeneity-aware placement policies (ROADMAP item 2).
+
+Three registered policies exploit a
+:class:`~repro.core.context.PlacementContext`:
+
+* ``hetero-lpt`` — speed-scaled LPT: each block goes to the rank that
+  *finishes* it earliest (``(load + cost) / speed``), the natural
+  ``Q || C_max`` greedy.  On uniform speeds this is exactly plain LPT.
+* ``hetero-cplx`` / ``hetero-cplx:<X>`` — capacity-aware CPLX: a
+  capacity-proportional contiguous split (fast ranks take longer SFC
+  runs) followed by the usual X% rank rebalance, with rank "load"
+  measured as completion time and the pooled blocks re-placed by
+  speed-scaled LPT.  On uniform speeds it delegates to plain CPLX, bit
+  for bit.
+* ``hetero-ilp`` — exact branch-and-bound on uniform machines for small
+  instances (the paper's Gurobi-reference arm generalized), falling
+  back to speed-scaled LPT beyond ``max_exact_blocks``.
+
+All three satisfy the homogeneous-invariance contract: with ``ctx=None``
+or a uniform-speed context they return the same assignments as their
+homogeneous counterparts (pinned by the parity suite in
+``tests/test_policy_context.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Optional
+
+import numpy as np
+
+from .baseline import assignment_from_counts, contiguous_counts
+from .context import PlacementContext
+from .cplx import CPLX, select_rebalance_ranks
+from .lpt import lpt_assign
+from .policy import PlacementPolicy, register_policy
+
+__all__ = [
+    "HeteroCPLX",
+    "HeteroILPPolicy",
+    "HeteroLPTPolicy",
+    "capacity_contiguous_counts",
+    "hetero_lpt_assign",
+]
+
+
+def hetero_lpt_assign(
+    costs: np.ndarray,
+    speeds: np.ndarray,
+    initial_loads: np.ndarray | None = None,
+) -> np.ndarray:
+    """Speed-scaled LPT: assign each block to its earliest-finishing rank.
+
+    Blocks are taken in descending cost (stable, like plain LPT); rank
+    ``r`` holding load ``L`` would finish a block of cost ``c`` at
+    ``(L + c) / speeds[r]``, and the minimum wins.  Ties break toward
+    the lowest rank ID.  One heap per distinct speed keeps the candidate
+    set at ``k`` = number of speed classes: within a class the
+    least-loaded rank is always the best representative, so the total
+    cost is ``O(n (log r + k))``.
+
+    With a single speed class this reduces *exactly* to
+    :func:`repro.core.lpt.lpt_assign` (same heap discipline, same
+    tie-breaks).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    speeds = np.asarray(speeds, dtype=np.float64)
+    n = int(costs.shape[0])
+    n_ranks = int(speeds.shape[0])
+    if n_ranks < 1 or speeds.min() <= 0:
+        raise ValueError("speeds must be a non-empty positive array")
+    if initial_loads is None:
+        loads = np.zeros(n_ranks, dtype=np.float64)
+    else:
+        loads = np.asarray(initial_loads, dtype=np.float64).copy()
+        if loads.shape != (n_ranks,):
+            raise ValueError(f"initial_loads shape {loads.shape} != ({n_ranks},)")
+    # One (load, rank) heap per distinct speed; heap top is the class's
+    # earliest-finishing candidate (monotone in load at fixed speed).
+    class_speeds = np.unique(speeds)
+    heaps = {}
+    for s in class_speeds:
+        s = float(s)
+        heaps[s] = [(float(loads[r]), int(r)) for r in np.nonzero(speeds == s)[0]]
+        heapq.heapify(heaps[s])
+    order = np.argsort(-costs, kind="stable")
+    assignment = np.empty(n, dtype=np.int64)
+    for bid in order:
+        c = float(costs[bid])
+        best_key = None
+        best_speed = None
+        for s, heap in heaps.items():
+            load, rank = heap[0]
+            key = ((load + c) / s, rank)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_speed = s
+        load, rank = heapq.heappop(heaps[best_speed])
+        assignment[bid] = rank
+        heapq.heappush(heaps[best_speed], (load + c, rank))
+    return assignment
+
+
+def capacity_contiguous_counts(costs: np.ndarray, speeds: np.ndarray) -> np.ndarray:
+    """Contiguous SFC split with boundaries at capacity-weighted targets.
+
+    Rank ``r``'s window ends where the cost prefix sum first reaches
+    ``total * cumsum(speeds)[r] / sum(speeds)`` — the uniform-machines
+    analogue of the baseline even split (which it equals, up to the
+    baseline's block-count rounding, when all speeds match; the
+    homogeneous code path never reaches here).  All-zero cost arrays
+    fall back to the plain contiguous block-count split.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    speeds = np.asarray(speeds, dtype=np.float64)
+    n = int(costs.shape[0])
+    n_ranks = int(speeds.shape[0])
+    if n == 0:
+        return np.zeros(n_ranks, dtype=np.int64)
+    prefix = np.cumsum(costs)
+    total = float(prefix[-1])
+    if total <= 0:
+        return contiguous_counts(n, n_ranks)
+    targets = total * (np.cumsum(speeds)[:-1] / float(speeds.sum()))
+    bounds = np.searchsorted(prefix, targets, side="left")
+    bounds = np.concatenate([[0], bounds, [n]])
+    bounds = np.maximum.accumulate(bounds)
+    return np.diff(bounds).astype(np.int64)
+
+
+@register_policy("hetero-lpt")
+class HeteroLPTPolicy(PlacementPolicy):
+    """Speed-scaled LPT (``Q || C_max`` greedy); plain LPT when uniform."""
+
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
+        if ctx is None or ctx.uniform_speed:
+            return lpt_assign(costs, n_ranks)
+        _check_ctx(ctx, n_ranks)
+        return hetero_lpt_assign(costs, ctx.rank_speed)
+
+
+@register_policy("hetero-cplx")
+class HeteroCPLX(PlacementPolicy):
+    """Capacity-aware CPLX: hetero contiguous split + X% LPT rebalance.
+
+    Parameters mirror :class:`~repro.core.cplx.CPLX`; with ``ctx=None``
+    or uniform speeds the computation *is* plain CPLX (delegated, so
+    homogeneous assignments are bit-identical to ``cplx:<X>``).
+    """
+
+    def __init__(
+        self,
+        x_percent: float = 50.0,
+        ranks_per_chunk: int = 512,
+        parallel: bool = False,
+    ) -> None:
+        self._inner = CPLX(
+            x_percent=x_percent, ranks_per_chunk=ranks_per_chunk, parallel=parallel
+        )
+        self.x_percent = self._inner.x_percent
+        self.ranks_per_chunk = ranks_per_chunk
+        self.parallel = parallel
+
+    @property
+    def label(self) -> str:
+        """Paper-style name with a hetero prefix, e.g. ``HCPL50``."""
+        return "H" + self._inner.label
+
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
+        if ctx is None or ctx.uniform_speed:
+            return self._inner.compute(costs, n_ranks)
+        _check_ctx(ctx, n_ranks)
+        speeds = ctx.rank_speed
+        counts = capacity_contiguous_counts(costs, speeds)
+        assignment = assignment_from_counts(counts)
+        if self.x_percent == 0.0 or costs.shape[0] == 0 or n_ranks < 2:
+            return assignment
+
+        loads = np.bincount(assignment, weights=costs, minlength=n_ranks)
+        # Rebalance selection ranks by *completion time*, not raw load:
+        # a fast rank with a heavy window may be perfectly on schedule.
+        ranks = select_rebalance_ranks(loads / speeds, self.x_percent)
+        if ranks.shape[0] < 2:
+            return assignment
+
+        mask = np.isin(assignment, ranks)
+        block_ids = np.nonzero(mask)[0]
+        if block_ids.shape[0] == 0:
+            return assignment
+        local = hetero_lpt_assign(costs[block_ids], speeds[ranks])
+        assignment = assignment.copy()
+        assignment[block_ids] = ranks[local]
+        return assignment
+
+    def __repr__(self) -> str:
+        return (
+            f"HeteroCPLX(x_percent={self.x_percent}, "
+            f"ranks_per_chunk={self.ranks_per_chunk})"
+        )
+
+
+@register_policy("hetero-ilp")
+class HeteroILPPolicy(PlacementPolicy):
+    """Exact small-instance arm: uniform-machines branch-and-bound.
+
+    Solves ``Q || C_max`` exactly (deterministically: node-limited, no
+    wall-clock cut) for instances up to ``max_exact_blocks`` blocks and
+    falls back to speed-scaled LPT beyond that — the hetero analogue of
+    the paper validating LPT against an ILP solver.  Speeds are
+    normalized by their maximum before solving so uniform contexts are
+    bit-identical to ``ctx=None`` regardless of the common speed value.
+    """
+
+    def __init__(
+        self, max_exact_blocks: int = 18, node_limit: int = 200_000
+    ) -> None:
+        if max_exact_blocks < 0:
+            raise ValueError("max_exact_blocks must be >= 0")
+        if node_limit < 1:
+            raise ValueError("node_limit must be >= 1")
+        self.max_exact_blocks = int(max_exact_blocks)
+        self.node_limit = int(node_limit)
+
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
+        if ctx is None:
+            speeds = np.ones(n_ranks, dtype=np.float64)
+        else:
+            _check_ctx(ctx, n_ranks)
+            speeds = ctx.rank_speed / ctx.rank_speed.max()
+        if costs.shape[0] > self.max_exact_blocks:
+            return hetero_lpt_assign(costs, speeds)
+        from .ilp import solve_hetero_makespan_bnb
+
+        return solve_hetero_makespan_bnb(
+            costs, speeds, node_limit=self.node_limit
+        ).assignment
+
+
+def _check_ctx(ctx: PlacementContext, n_ranks: int) -> None:
+    if ctx.n_ranks != n_ranks:
+        raise ValueError(
+            f"context describes {ctx.n_ranks} ranks, placement asked for {n_ranks}"
+        )

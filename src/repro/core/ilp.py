@@ -17,7 +17,13 @@ import numpy as np
 
 from .lpt import lpt_assign
 
-__all__ = ["BnBResult", "makespan_lower_bound", "solve_makespan_bnb"]
+__all__ = [
+    "BnBResult",
+    "hetero_makespan_lower_bound",
+    "makespan_lower_bound",
+    "solve_hetero_makespan_bnb",
+    "solve_makespan_bnb",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -112,6 +118,126 @@ def solve_makespan_bnb(
                     continue  # empty ranks are interchangeable
                 tried_empty = True
             if loads[r] + w >= state["best"] - 1e-12:
+                continue
+            loads[r] += w
+            assign_sorted[depth] = r
+            dfs(depth + 1)
+            loads[r] -= w
+            assign_sorted[depth] = -1
+            if state["best"] <= lb * (1 + 1e-12):
+                return  # matched the lower bound: proven optimal
+
+    dfs(0)
+
+    if state["best_sorted"] is not None:
+        best = state["best"]
+        best_assign = np.empty(n, dtype=np.int64)
+        best_assign[order] = state["best_sorted"]
+    optimal = state["complete"] or best <= lb * (1 + 1e-12)
+    return BnBResult(
+        best_assign, float(best), bool(optimal), state["nodes"], time.perf_counter() - t0
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Uniform machines (Q || C_max): the heterogeneous-cluster reference.
+# ---------------------------------------------------------------------- #
+
+
+def hetero_makespan_lower_bound(costs: np.ndarray, speeds: np.ndarray) -> float:
+    """Lower bounds for ``Q || C_max`` (makespan = max load/speed).
+
+    The area bound ``total / sum(speeds)`` (perfect capacity-weighted
+    split) and the longest-job bound ``max(cost) / max(speed)`` (the
+    largest block on the fastest rank).
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    speeds = np.asarray(speeds, dtype=np.float64)
+    if costs.size == 0:
+        return 0.0
+    return max(
+        float(costs.sum()) / float(speeds.sum()),
+        float(costs.max()) / float(speeds.max()),
+    )
+
+
+def solve_hetero_makespan_bnb(
+    costs: np.ndarray,
+    speeds: np.ndarray,
+    time_limit_s: float = float("inf"),
+    node_limit: int = 2_000_000,
+) -> BnBResult:
+    """Branch-and-bound for minimum makespan on *uniform* machines.
+
+    The ``Q || C_max`` generalization of :func:`solve_makespan_bnb`:
+    rank ``r`` completes load ``L`` in ``L / speeds[r]``.  The incumbent
+    is seeded by speed-scaled LPT
+    (:func:`repro.core.hetero.hetero_lpt_assign`), so the solver only
+    ever improves on the greedy — mirroring how the paper used Gurobi
+    against plain LPT.  Empty-rank symmetry pruning applies *within* a
+    speed class only (two idle ranks at different speeds are not
+    interchangeable).
+
+    The default has no wall-clock cut (``node_limit`` alone bounds the
+    search), keeping results deterministic for a given input — required
+    for a registered policy.
+    """
+    from .hetero import hetero_lpt_assign
+
+    costs = np.asarray(costs, dtype=np.float64)
+    speeds = np.asarray(speeds, dtype=np.float64)
+    n = int(costs.shape[0])
+    n_ranks = int(speeds.shape[0])
+    if n_ranks < 1 or speeds.min() <= 0:
+        raise ValueError("speeds must be a non-empty positive array")
+    t0 = time.perf_counter()
+    lb = hetero_makespan_lower_bound(costs, speeds)
+
+    seed = hetero_lpt_assign(costs, speeds)
+    best_assign = seed.copy()
+    loads0 = np.bincount(seed, weights=costs, minlength=n_ranks)
+    best = float((loads0 / speeds).max()) if n else 0.0
+    if n == 0 or best <= lb * (1 + 1e-12):
+        return BnBResult(best_assign, best, True, 0, time.perf_counter() - t0)
+
+    order = np.argsort(-costs, kind="stable")
+    sorted_costs = costs[order]
+    suffix = np.concatenate([np.cumsum(sorted_costs[::-1])[::-1], [0.0]])
+    total_speed = float(speeds.sum())
+
+    loads = np.zeros(n_ranks, dtype=np.float64)
+    assign_sorted = np.full(n, -1, dtype=np.int64)
+    state = {"best": best, "best_sorted": None, "nodes": 0, "complete": True}
+
+    def dfs(depth: int) -> None:
+        if state["nodes"] >= node_limit or time.perf_counter() - t0 > time_limit_s:
+            state["complete"] = False
+            return
+        state["nodes"] += 1
+        completion = loads / speeds
+        if depth == n:
+            m = float(completion.max())
+            if m < state["best"] - 1e-12:
+                state["best"] = m
+                state["best_sorted"] = assign_sorted.copy()
+            return
+        # Prune: both the capacity-area bound over remaining work and
+        # the current straggler are lower bounds on the final makespan.
+        area = (float(loads.sum()) + suffix[depth]) / total_speed
+        if max(area, float(completion.max())) >= state["best"] - 1e-12:
+            return
+        w = float(sorted_costs[depth])
+        tried_empty_speeds = set()
+        # Deterministic order: earliest-finishing ranks first tightens
+        # pruning (the Q||C_max analogue of least-loaded-first).
+        for r in np.argsort(completion, kind="stable"):
+            r = int(r)
+            if loads[r] == 0.0:
+                s = float(speeds[r])
+                if s in tried_empty_speeds:
+                    continue  # idle ranks of one speed class are interchangeable
+                tried_empty_speeds.add(s)
+            if (loads[r] + w) / speeds[r] >= state["best"] - 1e-12:
                 continue
             loads[r] += w
             assign_sorted[depth] = r

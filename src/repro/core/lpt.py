@@ -10,9 +10,11 @@ locality entirely — it is the ``X = 100`` endpoint of CPLX.
 from __future__ import annotations
 
 import heapq
+from typing import Optional
 
 import numpy as np
 
+from .context import PlacementContext
 from .policy import PlacementPolicy, register_policy
 
 __all__ = ["LPTPolicy", "lpt_assign", "lpt_assign_subset"]
@@ -83,7 +85,16 @@ def lpt_assign_subset(
 
 @register_policy("lpt")
 class LPTPolicy(PlacementPolicy):
-    """Pure load balancing: LPT over measured block costs (CPL100)."""
+    """Pure load balancing: LPT over measured block costs (CPL100).
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    Homogeneous by construction (identical machines); the speed-aware
+    variant is :class:`repro.core.hetero.HeteroLPTPolicy`.
+    """
+
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         return lpt_assign(costs, n_ranks)

@@ -11,11 +11,12 @@ rank→node topology, entirely vectorized.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..mesh.neighbors import NeighborGraph, NeighborKind
+from .context import REFERENCE_NIC_GBPS, PlacementContext
 
 __all__ = [
     "LoadStats",
@@ -40,7 +41,13 @@ DEFAULT_MESSAGE_WEIGHTS: Dict[NeighborKind, float] = {
 
 @dataclasses.dataclass(frozen=True)
 class LoadStats:
-    """Per-rank compute load summary under an assignment."""
+    """Per-rank compute load summary under an assignment.
+
+    With a heterogeneous context, "load" means *completion time*
+    (raw load divided by the rank's speed) — the straggler-relevant
+    quantity on mixed hardware.  Homogeneous calls (``ctx=None``) keep
+    the historical raw-load semantics bit for bit.
+    """
 
     makespan: float          #: max per-rank load (the straggler)
     mean: float              #: average per-rank load
@@ -50,9 +57,25 @@ class LoadStats:
     loads: np.ndarray        #: per-rank loads
 
 
-def load_stats(costs: np.ndarray, assignment: np.ndarray, n_ranks: int) -> LoadStats:
-    """Compute :class:`LoadStats` for an assignment."""
+def load_stats(
+    costs: np.ndarray,
+    assignment: np.ndarray,
+    n_ranks: int,
+    ctx: Optional[PlacementContext] = None,
+) -> LoadStats:
+    """Compute :class:`LoadStats` for an assignment.
+
+    ``ctx`` enables capacity weighting: per-rank loads become
+    ``load / rank_speed`` (completion times), so the makespan is the
+    time the slowest rank actually finishes.
+    """
     loads = np.bincount(assignment, weights=costs, minlength=n_ranks).astype(np.float64)
+    if ctx is not None:
+        if ctx.n_ranks != n_ranks:
+            raise ValueError(
+                f"context describes {ctx.n_ranks} ranks, stats asked for {n_ranks}"
+            )
+        loads = loads / ctx.rank_speed
     mean = float(loads.mean()) if n_ranks else 0.0
     mk = float(loads.max()) if n_ranks else 0.0
     cv = float(loads.std() / mean) if mean > 0 else 0.0
@@ -66,12 +89,26 @@ def load_stats(costs: np.ndarray, assignment: np.ndarray, n_ranks: int) -> LoadS
     )
 
 
-def normalized_makespan(costs: np.ndarray, assignment: np.ndarray, n_ranks: int) -> float:
-    """Makespan divided by the area lower bound ``total/r`` (Fig. 7b's y-axis)."""
+def normalized_makespan(
+    costs: np.ndarray,
+    assignment: np.ndarray,
+    n_ranks: int,
+    ctx: Optional[PlacementContext] = None,
+) -> float:
+    """Makespan divided by the area lower bound (Fig. 7b's y-axis).
+
+    Homogeneous: ``max load / (total / r)``.  With a context, both sides
+    are capacity-weighted: completion-time makespan over
+    ``total / sum(speeds)`` — the ``Q || C_max`` area bound, so 1.0 still
+    means "perfectly balanced for this hardware mix".
+    """
     total = float(np.asarray(costs).sum())
     if total <= 0:
         return 1.0
-    return load_stats(costs, assignment, n_ranks).makespan / (total / n_ranks)
+    if ctx is None:
+        return load_stats(costs, assignment, n_ranks).makespan / (total / n_ranks)
+    mk = load_stats(costs, assignment, n_ranks, ctx=ctx).makespan
+    return mk / (total / ctx.total_capacity())
 
 
 @dataclasses.dataclass(frozen=True)
@@ -92,6 +129,12 @@ class MessageStats:
     intra_rank_volume: float
     local_volume: float
     remote_volume: float
+    #: remote volume weighted by NIC tier: each cross-node edge counts
+    #: ``volume * (reference_nic / link_nic)``, where the link NIC is the
+    #: slower endpoint's tier — so traffic over slow NICs inflates.
+    #: Equals ``remote_volume`` on a uniform reference fabric; 0.0 when
+    #: no context was supplied (homogeneous calls are unchanged).
+    remote_tier_volume: float = 0.0
 
     @property
     def mpi_visible(self) -> int:
@@ -118,6 +161,7 @@ def message_stats(
     assignment: np.ndarray,
     ranks_per_node: int,
     weights: Dict[NeighborKind, float] | None = None,
+    ctx: Optional[PlacementContext] = None,
 ) -> MessageStats:
     """Classify every neighbor pair as intra-rank / local / remote.
 
@@ -130,6 +174,10 @@ def message_stats(
     ranks_per_node:
         Ranks packed per node; node of rank ``r`` is ``r // ranks_per_node``
         (the paper's clusters pack 16 ranks per 16-core node).
+    ctx:
+        Optional :class:`~repro.core.context.PlacementContext`; when
+        given, ``remote_tier_volume`` weights each cross-node edge by the
+        reference-to-link NIC ratio (slower endpoint governs the link).
     """
     if ranks_per_node < 1:
         raise ValueError("ranks_per_node must be >= 1")
@@ -147,6 +195,10 @@ def message_stats(
     same_node = (ra // ranks_per_node) == (rb // ranks_per_node)
     local = ~same_rank & same_node
     remote = ~same_node
+    remote_tier = 0.0
+    if ctx is not None and remote.any():
+        link = np.minimum(ctx.rank_nic_gbps[ra[remote]], ctx.rank_nic_gbps[rb[remote]])
+        remote_tier = float((w[remote] * (REFERENCE_NIC_GBPS / link)).sum())
     return MessageStats(
         intra_rank=int(same_rank.sum()),
         local=int(local.sum()),
@@ -154,6 +206,7 @@ def message_stats(
         intra_rank_volume=float(w[same_rank].sum()),
         local_volume=float(w[local].sum()),
         remote_volume=float(w[remote].sum()),
+        remote_tier_volume=remote_tier,
     )
 
 

@@ -7,6 +7,12 @@ assignment (paper §V).  Policies receive:
   baseline infrastructure historically fixes these to 1; the paper's
   change #1 populates them from telemetry (§V-A3).
 * ``n_ranks`` — number of simulation ranks.
+* ``ctx`` — an optional :class:`~repro.core.context.PlacementContext`
+  describing per-rank hardware (compute speed, NIC tier).  ``None``
+  means the historical homogeneous regime; policies unaware of the
+  context (including pre-migration third-party subclasses with a
+  two-argument ``compute``) are simply called without it and behave as
+  before, bit for bit.
 
 and return an ``(n,)`` int64 array ``assignment`` with
 ``assignment[block_id] = rank``.
@@ -20,14 +26,19 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import functools
+import inspect
 import time
-from typing import Callable, Dict, Iterator
+from typing import Callable, Dict, Iterator, Optional
 
 import numpy as np
+
+from .context import PlacementContext
 
 __all__ = [
     "PlacementPolicy",
     "PlacementResult",
+    "PolicyArgumentError",
     "register_policy",
     "get_policy",
     "available_policies",
@@ -86,6 +97,23 @@ def validate_assignment(assignment: np.ndarray, n_blocks: int, n_ranks: int) -> 
         raise ValueError(f"rank ids [{lo}, {hi}] outside [0, {n_ranks})")
 
 
+@functools.lru_cache(maxsize=None)
+def _compute_accepts_ctx(cls: type) -> bool:
+    """Whether ``cls.compute`` takes a ``ctx`` keyword.
+
+    Pre-migration subclasses (two-argument ``compute``) exist in the
+    wild; :meth:`PlacementPolicy.place` only forwards a context to
+    implementations that declare one, so those keep working untouched.
+    """
+    try:
+        params = inspect.signature(cls.compute).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    if "ctx" in params:
+        return True
+    return any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values())
+
+
 class PlacementPolicy(abc.ABC):
     """Base class for placement policies.
 
@@ -97,11 +125,31 @@ class PlacementPolicy(abc.ABC):
     name: str = "abstract"
 
     @abc.abstractmethod
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
-        """Return the block→rank assignment for the given costs."""
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
+        """Return the block→rank assignment for the given costs.
 
-    def place(self, costs: np.ndarray, n_ranks: int) -> PlacementResult:
-        """Validated, timed placement computation."""
+        ``ctx`` is ``None`` for homogeneous clusters; hetero-aware
+        policies read per-rank speeds/NIC tiers from it, everyone else
+        may ignore it (heterogeneity then simply goes unexploited).
+        """
+
+    def place(
+        self,
+        costs: np.ndarray,
+        n_ranks: Optional[int] = None,
+        ctx: Optional[PlacementContext] = None,
+    ) -> PlacementResult:
+        """Validated, timed placement computation.
+
+        ``n_ranks`` may be omitted when ``ctx`` is given (it is then
+        ``ctx.n_ranks``); passing both requires them to agree.  With
+        ``ctx=None`` the call path is byte-for-byte the historical one.
+        """
         costs = np.ascontiguousarray(costs, dtype=np.float64)
         if costs.ndim != 1:
             raise ValueError(f"costs must be 1-D, got shape {costs.shape}")
@@ -109,10 +157,22 @@ class PlacementPolicy(abc.ABC):
             raise ValueError("block costs must be finite (no NaN/inf)")
         if costs.size and costs.min() < 0:
             raise ValueError("block costs must be non-negative")
+        if ctx is not None:
+            if n_ranks is None:
+                n_ranks = ctx.n_ranks
+            elif n_ranks != ctx.n_ranks:
+                raise ValueError(
+                    f"n_ranks={n_ranks} disagrees with ctx.n_ranks={ctx.n_ranks}"
+                )
+        if n_ranks is None:
+            raise ValueError("either n_ranks or ctx must be provided")
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1, got {n_ranks}")
         t0 = time.perf_counter()
-        assignment = self.compute(costs, n_ranks)
+        if ctx is not None and _compute_accepts_ctx(type(self)):
+            assignment = self.compute(costs, n_ranks, ctx=ctx)
+        else:
+            assignment = self.compute(costs, n_ranks)
         elapsed = time.perf_counter() - t0
         validate_assignment(assignment, costs.shape[0], n_ranks)
         return PlacementResult(
@@ -141,28 +201,96 @@ def register_policy(name: str) -> Callable[[type], type]:
     return deco
 
 
+class PolicyArgumentError(TypeError):
+    """A policy was requested with keyword arguments it does not take.
+
+    Carries the policy name, the offending argument names, and the
+    constructor's accepted parameters — so sweep front ends (CLI flags,
+    service JSON params) can report exactly what to fix instead of
+    surfacing an opaque ``TypeError`` from deep inside a constructor.
+    """
+
+    def __init__(self, policy: str, unexpected, accepted) -> None:
+        self.policy = str(policy)
+        self.unexpected = tuple(unexpected)
+        self.accepted = tuple(accepted)
+        noun = "argument" if len(self.unexpected) == 1 else "arguments"
+        super().__init__(
+            f"policy {self.policy!r} got unexpected keyword {noun} "
+            f"{', '.join(repr(a) for a in self.unexpected)}; "
+            f"accepted: {', '.join(self.accepted) or '(none)'}"
+        )
+
+
+def _construct_policy(name, ctor, kwargs, reserved=()):
+    """Build a policy, converting bad kwargs into PolicyArgumentError.
+
+    ``reserved`` names are supplied by the shorthand itself (e.g. the
+    ``:X`` suffix of ``cplx:X`` fixes ``x_percent``) and therefore count
+    as unexpected when passed explicitly too.
+    """
+    accepted: tuple = ()
+    try:
+        sig = inspect.signature(ctor)
+    except (TypeError, ValueError):
+        sig = None
+    if sig is not None:
+        params = sig.parameters
+        if not any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+        ):
+            accepted = tuple(
+                n for n, p in params.items()
+                if n != "self"
+                and n not in reserved
+                and p.kind in (
+                    inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                    inspect.Parameter.KEYWORD_ONLY,
+                )
+            )
+            unexpected = sorted(set(kwargs) - set(accepted))
+            if unexpected:
+                raise PolicyArgumentError(name, unexpected, accepted)
+    return ctor(**kwargs)
+
+
 def get_policy(name: str, **kwargs) -> PlacementPolicy:
     """Instantiate a registered policy by name.
 
     ``cplx:<X>`` is accepted as shorthand for ``CPLX(x_percent=X)``, so
-    the evaluation sweeps can be driven by strings (``cplx:50`` == CPL50).
-    ``guarded`` builds the default budgeted fallback chain
-    (:class:`repro.resilience.guard.GuardedPolicy`); both are resolved
-    lazily to keep import cycles out of the registry.
+    the evaluation sweeps can be driven by strings (``cplx:50`` == CPL50);
+    ``hetero-cplx:<X>`` is the capacity-aware analogue.  ``guarded``
+    builds the default budgeted fallback chain
+    (:class:`repro.resilience.guard.GuardedPolicy`); all are resolved
+    lazily to keep import cycles out of the registry.  Unexpected keyword
+    arguments raise :class:`PolicyArgumentError` naming the policy and
+    its accepted parameters.
     """
     if name.startswith("cplx:"):
         from .cplx import CPLX
 
-        return CPLX(x_percent=float(name.split(":", 1)[1]), **kwargs)
+        x = float(name.split(":", 1)[1])
+        return _construct_policy(
+            name, functools.partial(CPLX, x_percent=x), kwargs,
+            reserved=("x_percent",),
+        )
+    if name.startswith("hetero-cplx:"):
+        from .hetero import HeteroCPLX
+
+        x = float(name.split(":", 1)[1])
+        return _construct_policy(
+            name, functools.partial(HeteroCPLX, x_percent=x), kwargs,
+            reserved=("x_percent",),
+        )
     if name == "guarded":
         from ..resilience.guard import GuardedPolicy
 
-        return GuardedPolicy(**kwargs)
+        return _construct_policy(name, GuardedPolicy, kwargs)
     try:
         factory = _REGISTRY[name]
     except KeyError:
         raise KeyError(f"unknown policy {name!r}; known: {sorted(_REGISTRY)}") from None
-    return factory(**kwargs)
+    return _construct_policy(name, factory, kwargs)
 
 
 def available_policies() -> Iterator[str]:

@@ -18,14 +18,29 @@ opportunities, which the ablation bench quantifies.
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Callable
+import dataclasses
+from typing import Callable, Optional
 
 import numpy as np
 
 from .chunked import _rank_shares, split_chunks
-from .policy import PlacementPolicy, register_policy
+from .context import PlacementContext
+from .policy import PlacementPolicy, _compute_accepts_ctx, register_policy
 
 __all__ = ["ZonalPolicy"]
+
+
+def _slice_context(
+    ctx: Optional[PlacementContext], lo: int, hi: int
+) -> Optional[PlacementContext]:
+    """The sub-context covering ranks ``[lo, hi)`` of a zone (or None)."""
+    if ctx is None or hi <= lo:
+        return None
+    return dataclasses.replace(
+        ctx,
+        rank_speed=ctx.rank_speed[lo:hi],
+        rank_nic_gbps=ctx.rank_nic_gbps[lo:hi],
+    )
 
 
 @register_policy("zonal")
@@ -61,12 +76,17 @@ class ZonalPolicy(PlacementPolicy):
         self.ranks_per_zone = ranks_per_zone
         self.parallel = parallel
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         n = int(costs.shape[0])
         n_zones = max(1, -(-n_ranks // self.ranks_per_zone))
         n_zones = min(n_zones, n_ranks, max(n, 1))
         if n_zones == 1:
-            return self.inner_factory().compute(costs, n_ranks)
+            return self._solve_inner(costs, n_ranks, ctx)
 
         ranges = split_chunks(costs, n_zones)
         zone_costs = np.asarray(
@@ -77,7 +97,9 @@ class ZonalPolicy(PlacementPolicy):
 
         def solve(z: int) -> np.ndarray:
             a, b = ranges[z]
-            local = self.inner_factory().compute(costs[a:b], int(shares[z]))
+            lo, hi = int(rank_offsets[z]), int(rank_offsets[z] + shares[z])
+            sub_ctx = _slice_context(ctx, lo, hi)
+            local = self._solve_inner(costs[a:b], int(shares[z]), sub_ctx)
             return local + rank_offsets[z]
 
         if self.parallel:
@@ -86,3 +108,13 @@ class ZonalPolicy(PlacementPolicy):
         else:
             parts = [solve(z) for z in range(n_zones)]
         return np.concatenate(parts)
+
+    def _solve_inner(
+        self, costs: np.ndarray, n_ranks: int, ctx: Optional[PlacementContext]
+    ) -> np.ndarray:
+        """Run a fresh inner policy, forwarding the context when it can
+        take one (pre-migration inner policies keep their 2-arg call)."""
+        inner = self.inner_factory()
+        if ctx is not None and _compute_accepts_ctx(type(inner)):
+            return inner.compute(costs, n_ranks, ctx=ctx)
+        return inner.compute(costs, n_ranks)

@@ -105,6 +105,9 @@ class EpochEngine:
             pattern_cache = shared_cache_handle(config.pattern_cache_size)
         else:
             pattern_cache = maybe_cache(config.pattern_cache_size)
+        collector = TelemetryCollector(cluster.n_ranks, cluster.ranks_per_node)
+        if cluster.is_heterogeneous:
+            collector.set_hardware(cluster.rank_capacity(), cluster.rank_nic())
         self.ctx = EngineContext(
             policy=policy,
             config=config,
@@ -112,7 +115,7 @@ class EpochEngine:
             cluster=cluster,
             tuning=config.tuning,
             model=model,
-            collector=TelemetryCollector(cluster.n_ranks, cluster.ranks_per_node),
+            collector=collector,
             tracker=BlockCostTracker(),
             rng=np.random.default_rng(config.seed),
             alive=list(range(cluster.n_nodes)),
@@ -202,6 +205,11 @@ class EpochEngine:
                 ctx.cluster.n_ranks,
                 ctx.carried,
                 config.fabric,
+                ctx=(
+                    ctx.cluster.placement_context()
+                    if ctx.cluster.is_heterogeneous
+                    else None
+                ),
             )
             outcome = commit_redistribution(ctx.plan)
             ctx.outcome = outcome

@@ -64,6 +64,7 @@ PROFILES: Dict[str, Dict] = {
     "smoke": {
         "policy_ranks": (256,),
         "policy_repeats": 3,
+        "hetero": {"ranks": (256,), "repeats": 3},
         "mesh_ranks": 128,
         "mesh_blocks_per_rank": 3.0,
         "mesh_repeats": 3,
@@ -82,6 +83,7 @@ PROFILES: Dict[str, Dict] = {
     "quick": {
         "policy_ranks": (2048, 8192),
         "policy_repeats": 5,
+        "hetero": {"ranks": (2048, 8192), "repeats": 5},
         "mesh_ranks": 512,
         "mesh_blocks_per_rank": 4.0,
         "mesh_repeats": 5,
@@ -105,6 +107,7 @@ PROFILES: Dict[str, Dict] = {
     "full": {
         "policy_ranks": (8192, 32768),
         "policy_repeats": 7,
+        "hetero": {"ranks": (8192, 32768), "repeats": 7},
         "mesh_ranks": 1024,
         "mesh_blocks_per_rank": 4.0,
         "mesh_repeats": 7,
@@ -186,6 +189,40 @@ def _bench_policies(
             metric = f"policy.{key}.r{n_ranks}"
             metrics[metric] = _time_case(
                 lambda: policy.place(costs, n_ranks), params["policy_repeats"]
+            )
+            log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
+
+
+def _bench_hetero(
+    params: Dict, metrics: Dict, derived: Dict, log: Callable[[str], None]
+) -> None:
+    """Capacity-aware placement kernels on a skewed mixed cluster.
+
+    Times the ``Q || C_max`` arms (hetero-lpt, hetero-cplx) with a
+    25% fast / 75% reference hardware context — the heap-based
+    earliest-finish greedy has a different complexity profile than the
+    homogeneous LPT sort-and-push, so it gets its own gates.
+    """
+    from ..bench.distributions import make_costs
+    from ..core.context import PlacementContext
+    from ..core.policy import get_policy
+
+    knobs = params["hetero"]
+    for n_ranks in knobs["ranks"]:
+        n_blocks = int(n_ranks * BLOCKS_PER_RANK)
+        costs = make_costs("exponential", n_blocks, seed=4321 + n_ranks)
+        speed = np.ones(n_ranks)
+        speed[: n_ranks // 4] = 2.0
+        ctx = PlacementContext(
+            rank_speed=speed, rank_nic_gbps=np.full(n_ranks, 40.0)
+        )
+        for name in ("hetero-lpt", "hetero-cplx:50"):
+            policy = get_policy(name)
+            key = name.replace(":", "")
+            metric = f"hetero.{key}.r{n_ranks}"
+            metrics[metric] = _time_case(
+                lambda: policy.place(costs, n_ranks, ctx=ctx),
+                knobs["repeats"],
             )
             log(f"{metric}: {metrics[metric]['median_s'] * 1e3:.2f} ms")
 
@@ -719,6 +756,7 @@ def _bench_service(
 #: has the uniform signature ``(params, metrics, derived, log)``.
 SECTIONS: Tuple[Tuple[str, Callable], ...] = (
     ("policies", _bench_policies),
+    ("hetero", _bench_hetero),
     ("mesh", _bench_mesh),
     ("scalebench", _bench_scalebench),
     ("epoch", _bench_epoch_loop),

@@ -29,7 +29,13 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.policy import PlacementPolicy, get_policy, validate_assignment
+from ..core.context import PlacementContext
+from ..core.policy import (
+    PlacementPolicy,
+    _compute_accepts_ctx,
+    get_policy,
+    validate_assignment,
+)
 
 __all__ = ["GuardEvent", "GuardedPolicy", "DEFAULT_CHAIN"]
 
@@ -101,7 +107,12 @@ class GuardedPolicy(PlacementPolicy):
 
     # ------------------------------------------------------------------ #
 
-    def compute(self, costs: np.ndarray, n_ranks: int) -> np.ndarray:
+    def compute(
+        self,
+        costs: np.ndarray,
+        n_ranks: int,
+        ctx: Optional[PlacementContext] = None,
+    ) -> np.ndarray:
         n_blocks = costs.shape[0]
         first = True
         for ti in range(self._start_tier, len(self.chain)):
@@ -117,7 +128,10 @@ class GuardedPolicy(PlacementPolicy):
                     )
                 t0 = time.perf_counter()
                 try:
-                    out = tier.compute(costs, n_ranks)
+                    if ctx is not None and _compute_accepts_ctx(type(tier)):
+                        out = tier.compute(costs, n_ranks, ctx=ctx)
+                    else:
+                        out = tier.compute(costs, n_ranks)
                     validate_assignment(out, n_blocks, n_ranks)
                 except ValueError as exc:
                     # Either the tier raised on its inputs or returned a

@@ -155,11 +155,23 @@ class FaultTimelineHook(EpochHook):
             ctx.rng.bit_generator.state = ckpt.driver_rng_state
             ctx.model.set_rng_state(ckpt.model_rng_state)
             ctx.alive = list(ckpt.alive_nodes)
+            orig = self.original_cluster
+            alive = list(ckpt.alive_nodes)
             cur = Cluster(
                 n_ranks=ckpt.n_ranks,
-                machine=self.original_cluster.machine,
+                machine=orig.machine,
                 node_speed_factor=ckpt.node_speed_factor.copy(),
-                nodes_per_switch=self.original_cluster.nodes_per_switch,
+                nodes_per_switch=orig.nodes_per_switch,
+                # alive_nodes index the original numbering, so the
+                # survivors' hardware classes slice straight out.
+                node_speed=(
+                    None if orig.node_speed is None else orig.node_speed[alive]
+                ),
+                node_nic_gbps=(
+                    None
+                    if orig.node_nic_gbps is None
+                    else orig.node_nic_gbps[alive]
+                ),
             )
             if ctx.tuning.drain_queue != ckpt.drain_queue:
                 ctx.tuning = dataclasses.replace(
@@ -177,6 +189,10 @@ class FaultTimelineHook(EpochHook):
             ctx.collector = TelemetryCollector(
                 self.base_cluster.n_ranks, self.base_cluster.ranks_per_node
             )
+            if self.base_cluster.is_heterogeneous:
+                ctx.collector.set_hardware(
+                    self.base_cluster.rank_capacity(), self.base_cluster.rank_nic()
+                )
             ctx.tracker = BlockCostTracker()
             ctx.rng = np.random.default_rng(config.seed)
             ctx.alive = list(range(self.base_cluster.n_nodes))

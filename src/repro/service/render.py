@@ -99,11 +99,23 @@ def render_sedov(result, show_transport: bool, profile: bool) -> List[str]:
     return lines
 
 
-def render_scalebench(rows, executor: Optional[SupervisedReport]) -> List[str]:
-    """The ``repro scalebench`` report (always digest-terminated)."""
+def render_scalebench(
+    rows,
+    executor: Optional[SupervisedReport],
+    node_classes: Optional[str] = None,
+) -> List[str]:
+    """The ``repro scalebench`` report (always digest-terminated).
+
+    ``node_classes`` adds the U-curve-under-heterogeneity section;
+    ``None`` (homogeneous sweeps) renders byte-identically to before.
+    """
     from ..bench import makespan_table, overhead_table, scalebench_digest
 
     lines = [makespan_table(rows), "", overhead_table(rows)]
+    if node_classes is not None:
+        from ..bench import hetero_ucurve_table
+
+        lines.extend(["", hetero_ucurve_table(rows, node_classes)])
     if executor is not None:
         lines.extend(supervised_lines(executor))
     lines.append(digest_line(scalebench_digest(rows)))

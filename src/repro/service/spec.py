@@ -118,6 +118,7 @@ def _sedov_config(params: Mapping):
         steps=int(params.get("steps", 1500)),
         paper_scale=bool(params.get("paper_scale", False)),
         profile=bool(params.get("profile", False)),
+        node_classes=params.get("node_classes"),
         driver=DriverConfig(
             transport=_parse_transport(params.get("transport_faults"))
         ),
@@ -177,6 +178,7 @@ def _scalebench_config(params: Mapping):
             float(x) for x in params.get("x_values", (0.0, 25.0, 50.0, 75.0, 100.0))
         ),
         shard_ranks=int(params.get("shard_ranks", 0)),
+        node_classes=params.get("node_classes"),
     )
 
 
@@ -195,7 +197,11 @@ def _scalebench_execute(spec: JobSpec, on_event) -> JobOutcome:
 def _scalebench_render(spec: JobSpec, outcome: JobOutcome) -> List[str]:
     from .render import render_scalebench
 
-    return render_scalebench(outcome.result, outcome.executor)
+    return render_scalebench(
+        outcome.result,
+        outcome.executor,
+        node_classes=getattr(spec.config, "node_classes", None),
+    )
 
 
 def _scalebench_digest(outcome: JobOutcome) -> str:

@@ -10,7 +10,7 @@ that share the same environment description:
   model (fast; drives the Sedov experiments and microbenchmarks).
 """
 
-from .cluster import Cluster
+from .cluster import Cluster, NodeClass, hetero_cluster, parse_node_classes
 from .events import Emit, Engine, SimEvent, Timeout, WaitEvent
 from .faults import (
     NO_FAULTS,
@@ -26,7 +26,13 @@ from .faults import (
     TransportFaultModel,
     parse_transport_spec,
 )
-from .machine import DEFAULT_FABRIC, DEFAULT_MACHINE, FabricSpec, MachineSpec
+from .machine import (
+    DEFAULT_FABRIC,
+    DEFAULT_MACHINE,
+    DEFAULT_NIC_GBPS,
+    FabricSpec,
+    MachineSpec,
+)
 from .mpi import PhaseTimes, Request, SimMPI, TransportStats
 from .runtime import BSPModel, ExchangePattern, StepPhases
 from .tuning import TUNED, UNTUNED, TuningConfig
@@ -40,6 +46,7 @@ __all__ = [
     "run_des_step",
     "DEFAULT_FABRIC",
     "DEFAULT_MACHINE",
+    "DEFAULT_NIC_GBPS",
     "Emit",
     "Engine",
     "ExchangePattern",
@@ -52,6 +59,7 @@ __all__ = [
     "MigrationTransportSample",
     "NO_FAULTS",
     "NO_TRANSPORT_FAULTS",
+    "NodeClass",
     "NodeCrash",
     "ThrottleOnset",
     "PhaseTimes",
@@ -67,5 +75,7 @@ __all__ = [
     "TuningConfig",
     "UNTUNED",
     "WaitEvent",
+    "hetero_cluster",
+    "parse_node_classes",
     "parse_transport_spec",
 ]

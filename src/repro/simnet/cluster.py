@@ -6,18 +6,143 @@ paper's testbed) and tracks per-node health state injected by
 and pre/post-job health checks (§IV-A) is modeled by
 :meth:`Cluster.pruned`, which drops unhealthy nodes and renumbers ranks,
 exactly like excluding nodes from an MPI hostfile.
+
+Heterogeneous hardware (ROADMAP item 2) is modeled by per-node *classes*
+(:class:`NodeClass`: relative compute speed + NIC tier), built with
+:func:`hetero_cluster` from specs like ``fast:0.5x16,slow:1.0x48``.
+Class speed is **hardware capacity** and is deliberately orthogonal to
+``node_speed_factor``, the **transient fault slowdown** (thermal
+throttling) that multiplies on top — a fast node can still throttle.
+Policies see only the hardware side, via
+:meth:`Cluster.placement_context`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .machine import DEFAULT_MACHINE, MachineSpec
+from ..core.context import PlacementContext
+from .machine import DEFAULT_MACHINE, DEFAULT_NIC_GBPS, MachineSpec
 
-__all__ = ["Cluster"]
+__all__ = ["Cluster", "NodeClass", "hetero_cluster", "parse_node_classes"]
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeClass:
+    """One hardware class in a mixed cluster.
+
+    Attributes
+    ----------
+    name:
+        Label used in specs and reports (``fast``, ``slow``, ``gpu``…).
+    speed:
+        Relative compute *throughput* (1.0 = reference node; 2.0
+        finishes a block in half the time).  Spec strings give the
+        reciprocal — a compute-**time** multiplier, mirroring
+        ``node_speed_factor`` — so ``fast:0.5`` parses to ``speed=2.0``.
+    nic_gbps:
+        NIC tier (reference fabric: 40 Gbps).
+    """
+
+    name: str
+    speed: float
+    nic_gbps: float = DEFAULT_NIC_GBPS
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node class name must be non-empty")
+        if not np.isfinite(self.speed) or self.speed <= 0:
+            raise ValueError(f"class speed must be positive, got {self.speed}")
+        if not np.isfinite(self.nic_gbps) or self.nic_gbps <= 0:
+            raise ValueError(f"nic_gbps must be positive, got {self.nic_gbps}")
+
+
+def parse_node_classes(spec: str) -> Tuple[Tuple[NodeClass, int], ...]:
+    """Parse a ``--node-classes`` spec into ``(NodeClass, count)`` pairs.
+
+    Grammar: comma-separated ``name:TIMExCOUNT[@NIC]`` entries, e.g.
+    ``fast:0.5x16,slow:1.0x48`` (16 nodes at half the compute time plus
+    48 reference nodes) or ``gpu:0.25x4@100,cpu:1.0x12`` (a 100 Gbps
+    NIC tier on the fast partition).  TIME is the per-unit-cost compute
+    *time* multiplier; :class:`NodeClass` stores its reciprocal as
+    throughput.  Counts are template proportions — see
+    :func:`hetero_cluster` for how they scale to a rank count.
+    """
+    entries = []
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            name, rest = part.split(":", 1)
+            if "@" in rest:
+                rest, nic_s = rest.rsplit("@", 1)
+                nic = float(nic_s)
+            else:
+                nic = DEFAULT_NIC_GBPS
+            time_s, count_s = rest.split("x", 1)
+            time_factor = float(time_s)
+            count = int(count_s)
+        except ValueError:
+            raise ValueError(
+                f"bad node-class entry {part!r}; expected name:TIMExCOUNT[@NIC]"
+            ) from None
+        if time_factor <= 0:
+            raise ValueError(f"time factor must be positive in {part!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1 in {part!r}")
+        entries.append((NodeClass(name.strip(), 1.0 / time_factor, nic), count))
+    if not entries:
+        raise ValueError(f"node-class spec {spec!r} has no entries")
+    return tuple(entries)
+
+
+def hetero_cluster(
+    n_ranks: int,
+    classes: Union[str, Sequence[Tuple[NodeClass, int]]],
+    machine: MachineSpec = DEFAULT_MACHINE,
+    nodes_per_switch: int = 0,
+) -> "Cluster":
+    """Build a mixed-hardware :class:`Cluster` from a class template.
+
+    ``classes`` is a spec string (see :func:`parse_node_classes`) or
+    ``(NodeClass, count)`` pairs.  Template counts are *proportions*:
+    the cluster's nodes are allocated to classes by largest-remainder
+    proportional split, in template order, as contiguous node blocks
+    (real mixed clusters partition by rack).  When the template total
+    equals the node count the allocation is exact.  A class may receive
+    zero nodes at small scales.
+    """
+    if isinstance(classes, str):
+        classes = parse_node_classes(classes)
+    classes = tuple(classes)
+    if not classes:
+        raise ValueError("at least one node class is required")
+    counts = np.asarray([int(c) for _, c in classes], dtype=np.int64)
+    if counts.min() < 1:
+        raise ValueError("class counts must be >= 1")
+    n_nodes = -(-n_ranks // machine.cores_per_node)
+    # Contiguous proportional allocation: cumulative shares floor to
+    # node boundaries, so totals are exact and order is preserved.
+    bounds = np.floor(np.cumsum(counts) * n_nodes / counts.sum()).astype(np.int64)
+    bounds[-1] = n_nodes
+    alloc = np.diff(np.concatenate([[0], bounds]))
+    node_speed = np.concatenate(
+        [np.full(int(k), nc.speed) for (nc, _), k in zip(classes, alloc)]
+    )
+    node_nic = np.concatenate(
+        [np.full(int(k), nc.nic_gbps) for (nc, _), k in zip(classes, alloc)]
+    )
+    return Cluster(
+        n_ranks=n_ranks,
+        machine=machine,
+        nodes_per_switch=nodes_per_switch,
+        node_speed=node_speed,
+        node_nic_gbps=node_nic,
+    )
 
 
 @dataclasses.dataclass
@@ -43,6 +168,11 @@ class Cluster:
     #: nodes per leaf switch; messages crossing switches pay an extra
     #: latency hop (fat-tree-style two-tier topology).  0 = flat network.
     nodes_per_switch: int = 0
+    #: per-node hardware *throughput* (:class:`NodeClass` speed, 1.0 =
+    #: reference); ``None`` = homogeneous cluster (the legacy default).
+    node_speed: Optional[np.ndarray] = None
+    #: per-node NIC tier in Gbps; ``None`` = uniform reference fabric.
+    node_nic_gbps: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -58,6 +188,16 @@ class Cluster:
                 )
             if self.node_speed_factor.min() < 1.0:
                 raise ValueError("speed factors are slowdown multipliers; must be >= 1")
+        for field in ("node_speed", "node_nic_gbps"):
+            arr = getattr(self, field)
+            if arr is None:
+                continue
+            arr = np.asarray(arr, dtype=np.float64)
+            if arr.shape != (self.n_nodes,):
+                raise ValueError(f"{field} shape {arr.shape} != ({self.n_nodes},)")
+            if not np.isfinite(arr).all() or arr.min() <= 0:
+                raise ValueError(f"{field} entries must be positive and finite")
+            setattr(self, field, arr)
 
     @property
     def ranks_per_node(self) -> int:
@@ -82,6 +222,53 @@ class Cluster:
         """Per-rank compute-time multiplier (from node health)."""
         nodes = np.arange(self.n_ranks) // self.ranks_per_node
         return self.node_speed_factor[nodes]
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Whether any per-node hardware class arrays are set."""
+        return self.node_speed is not None or self.node_nic_gbps is not None
+
+    def rank_capacity(self) -> np.ndarray:
+        """Per-rank hardware throughput (1.0 = reference node class).
+
+        This is the *capacity* side only — transient fault slowdowns
+        (``node_speed_factor``) are deliberately excluded, because
+        placement policies plan against hardware, not against faults
+        they cannot observe collectively.
+        """
+        if self.node_speed is None:
+            return np.ones(self.n_ranks, dtype=np.float64)
+        nodes = np.arange(self.n_ranks) // self.ranks_per_node
+        return self.node_speed[nodes]
+
+    def rank_nic(self) -> np.ndarray:
+        """Per-rank NIC tier in Gbps (reference tier when unset)."""
+        if self.node_nic_gbps is None:
+            return np.full(self.n_ranks, DEFAULT_NIC_GBPS, dtype=np.float64)
+        nodes = np.arange(self.n_ranks) // self.ranks_per_node
+        return self.node_nic_gbps[nodes]
+
+    def rank_time_factor(self) -> np.ndarray:
+        """Per-rank compute-time multiplier: health slowdown / hw speed.
+
+        The quantity the runtime charges per unit of block cost.  On a
+        homogeneous cluster this *is* :meth:`rank_speed_factor` (same
+        array object semantics, bit-identical values); on mixed hardware
+        a class speed of 2.0 halves the time while a throttle factor of
+        4.0 still quadruples it.
+        """
+        if self.node_speed is None:
+            return self.rank_speed_factor()
+        nodes = np.arange(self.n_ranks) // self.ranks_per_node
+        return self.node_speed_factor[nodes] / self.node_speed[nodes]
+
+    def placement_context(self) -> PlacementContext:
+        """The hardware view policies see (:class:`PlacementContext`)."""
+        return PlacementContext(
+            rank_speed=self.rank_capacity(),
+            rank_nic_gbps=self.rank_nic(),
+            ranks_per_node=self.ranks_per_node,
+        )
 
     def _check_node_ids(self, node_ids: Sequence[int], what: str) -> List[int]:
         """Validate a node-id list: integral, in range, no duplicates."""
@@ -146,6 +333,10 @@ class Cluster:
             machine=self.machine,
             node_speed_factor=self.node_speed_factor[keep],
             nodes_per_switch=self.nodes_per_switch,
+            node_speed=None if self.node_speed is None else self.node_speed[keep],
+            node_nic_gbps=(
+                None if self.node_nic_gbps is None else self.node_nic_gbps[keep]
+            ),
         )
 
     def eviction_rank_map(self, node_ids: Sequence[int]) -> np.ndarray:
@@ -182,11 +373,20 @@ class Cluster:
         keep = [i for i in range(self.n_nodes) if i not in bad]
         if not keep:
             raise RuntimeError("health check pruned every node")
-        n_ranks = min(self.n_ranks, len(keep) * self.ranks_per_node)
+        # Count the survivors' actual ranks: a surviving *partial* last
+        # node contributes only its own ranks.  (The old
+        # ``min(n_ranks, len(keep) * ranks_per_node)`` counted it as
+        # full whenever any other node was pruned, inflating n_ranks.)
+        n_ranks = sum(self._ranks_on_node(i) for i in keep)
         return Cluster(
             n_ranks=n_ranks,
             machine=self.machine,
-            node_speed_factor=self.node_speed_factor[keep][: -(-n_ranks // self.ranks_per_node)],
+            node_speed_factor=self.node_speed_factor[keep],
+            nodes_per_switch=self.nodes_per_switch,
+            node_speed=None if self.node_speed is None else self.node_speed[keep],
+            node_nic_gbps=(
+                None if self.node_nic_gbps is None else self.node_nic_gbps[keep]
+            ),
         )
 
     def __repr__(self) -> str:

@@ -11,7 +11,21 @@ from __future__ import annotations
 
 import dataclasses
 
-__all__ = ["MachineSpec", "FabricSpec", "DEFAULT_MACHINE", "DEFAULT_FABRIC"]
+import numpy as np
+
+from ..core.context import REFERENCE_NIC_GBPS
+
+__all__ = [
+    "MachineSpec",
+    "FabricSpec",
+    "DEFAULT_MACHINE",
+    "DEFAULT_FABRIC",
+    "DEFAULT_NIC_GBPS",
+]
+
+#: NIC tier of the reference node class (the paper's 40 Gbps QLogic
+#: fabric); per-tier bandwidth scales relative to this.
+DEFAULT_NIC_GBPS = REFERENCE_NIC_GBPS
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +133,19 @@ class FabricSpec:
 
         levels = math.ceil(math.log2(max(n_ranks, 2)))
         return self.collective_base_s + self.collective_per_level_s * levels
+
+    def remote_pair_bandwidth(self, link_nic_gbps) -> np.ndarray:
+        """Effective fabric bandwidth for links of the given NIC tier(s).
+
+        ``remote_bandwidth`` is calibrated for the reference
+        :data:`DEFAULT_NIC_GBPS` fabric; a link's payload bandwidth
+        scales linearly with the slower endpoint's NIC tier (the
+        caller passes that min).  Accepts scalars or arrays.
+        """
+        link = np.asarray(link_nic_gbps, dtype=np.float64)
+        if link.size and link.min() <= 0:
+            raise ValueError("NIC tiers must be positive")
+        return self.remote_bandwidth * (link / DEFAULT_NIC_GBPS)
 
 
 DEFAULT_MACHINE = MachineSpec()

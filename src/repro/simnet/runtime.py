@@ -139,10 +139,19 @@ class ExchangePattern:
         p_src = (uniq // n_ranks).astype(np.int64)
         p_dst = (uniq % n_ranks).astype(np.int64)
         p_local = (p_src // cluster.ranks_per_node) == (p_dst // cluster.ranks_per_node)
+        if cluster.node_nic_gbps is not None:
+            # Mixed NIC tiers: a cross-node pair's payload bandwidth is
+            # governed by the slower endpoint's NIC.
+            nic = cluster.rank_nic()
+            remote_bw = fabric.remote_pair_bandwidth(
+                np.minimum(nic[p_src], nic[p_dst])
+            )
+        else:
+            remote_bw = fabric.remote_bandwidth
         lat = np.where(
             p_local,
             fabric.local_latency_s + max_size / fabric.local_bandwidth,
-            fabric.remote_latency_s + max_size / fabric.remote_bandwidth,
+            fabric.remote_latency_s + max_size / remote_bw,
         )
         if fabric.cross_switch_extra_s > 0:
             cross = np.asarray(cluster.switch_of(p_src)) != np.asarray(
@@ -218,7 +227,9 @@ class BSPModel:
         self.faults = faults
         self.rng = np.random.default_rng(seed)
         self.exchange_rounds = exchange_rounds
-        self._speed = cluster.rank_speed_factor()
+        # Health slowdown / hardware class speed; identical to
+        # rank_speed_factor() on homogeneous clusters.
+        self._speed = cluster.rank_time_factor()
 
     # ------------------------------------------------------------------ #
 
@@ -238,7 +249,7 @@ class BSPModel:
         """
         if cluster is not None:
             self.cluster = cluster
-            self._speed = cluster.rank_speed_factor()
+            self._speed = cluster.rank_time_factor()
         if tuning is not None:
             self.tuning = tuning
         if faults is not None:

@@ -63,6 +63,41 @@ class TelemetryCollector:
         # been flushed to an on-disk dataset partition (incremental
         # spooling; see flush_partition).
         self._flush_mark = 0
+        # Optional per-rank hardware description (mixed clusters only);
+        # None keeps snapshots byte-compatible with homogeneous runs.
+        self._hardware: Dict[str, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def set_hardware(self, rank_speed: np.ndarray, rank_nic_gbps: np.ndarray) -> None:
+        """Attach the cluster's per-rank hardware class description.
+
+        Recorded once (not per step): hardware is static for a run, so a
+        single ``(rank, node, speed, nic_gbps)`` table is enough for any
+        downstream query to join against.  Only called on heterogeneous
+        clusters, so homogeneous telemetry snapshots are unchanged.
+        """
+        rank_speed = np.asarray(rank_speed, dtype=np.float64)
+        rank_nic_gbps = np.asarray(rank_nic_gbps, dtype=np.float64)
+        if rank_speed.shape != (self.n_ranks,) or rank_nic_gbps.shape != (
+            self.n_ranks,
+        ):
+            raise ValueError(
+                f"hardware arrays must have shape ({self.n_ranks},); got "
+                f"{rank_speed.shape} and {rank_nic_gbps.shape}"
+            )
+        self._hardware = {
+            "rank": self._rank_ids.copy(),
+            "node": self._node_ids.copy(),
+            "speed": rank_speed,
+            "nic_gbps": rank_nic_gbps,
+        }
+
+    def hardware_table(self) -> ColumnTable | None:
+        """Per-rank hardware classes, or ``None`` on homogeneous runs."""
+        if self._hardware is None:
+            return None
+        return ColumnTable(dict(self._hardware))
 
     # ------------------------------------------------------------------ #
 
@@ -289,12 +324,16 @@ class TelemetryCollector:
 
     def snapshot_tables(self) -> Dict[str, ColumnTable]:
         """Finalized copies of all accumulated telemetry (checkpointing)."""
-        return {
+        out = {
             "steps": self.steps_table(),
             "epochs": self.epochs_table(),
             "mitigations": self.mitigations_table(),
             "transport": self.transport_table(),
         }
+        hw = self.hardware_table()
+        if hw is not None:
+            out["hardware"] = hw
+        return out
 
     def restore_tables(self, tables: Dict[str, ColumnTable]) -> None:
         """Reset state to a :meth:`snapshot_tables` snapshot.
@@ -333,6 +372,9 @@ class TelemetryCollector:
         if tr is not None:
             for name in self._transport:
                 self._transport[name] = tr[name].tolist()
+        hw = tables.get("hardware")
+        if hw is not None:
+            self._hardware = {k: np.asarray(hw[k]) for k in ("rank", "node", "speed", "nic_gbps")}
 
     def phase_totals(self) -> Dict[str, float]:
         """Weighted rank-second totals per phase across the whole run."""

@@ -94,6 +94,16 @@ class TestRunBench:
         frac = smoke_result["derived"]["scalebench.shard_mem_frac"]
         assert 0.0 < frac <= 4096 / 131072 + 1e-12
 
+    def test_hetero_placement_kernels(self, smoke_result):
+        metrics = smoke_result["metrics"]
+        # The capacity-aware arms are tracked at every profile's rank
+        # set; smoke pins the 256-rank cells.
+        assert "hetero.hetero-lpt.r256" in metrics
+        assert "hetero.hetero-cplx50.r256" in metrics
+        for profile in PROFILES.values():
+            assert profile["hetero"]["ranks"], "hetero knob must name rank cells"
+            assert profile["hetero"]["repeats"] >= 1
+
     def test_profiles_cover_sweep_only_beyond_smoke(self):
         assert PROFILES["smoke"]["sweep"] is None
         assert PROFILES["quick"]["sweep"] is not None

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Heterogeneity smoke harness: CLI vs ``repro serve`` digest equality.
+
+The ``hetero-smoke`` CI job runs this script.  The scenario:
+
+1. run a mixed-hardware scalebench sweep through the CLI
+   (``repro scalebench --node-classes fast:0.5x16,slow:1.0x48``) and
+   capture its ``result digest:`` line — the report must contain the
+   "U-curve under heterogeneity" section;
+2. run the *same* sweep without ``--node-classes`` and assert the
+   homogeneous report is untouched (no hetero section, different
+   digest lineage kept apart);
+3. start a real ``repro serve`` subprocess, submit the hetero sweep
+   through :class:`~repro.service.client.ServiceClient`, and require
+   the service digest byte-identical to the CLI digest (the service
+   layer threads ``node_classes`` through spec → config → render the
+   same way the CLI does).
+
+Exit code 0 on success; non-zero with a diagnostic on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+NODE_CLASSES = "fast:0.5x16,slow:1.0x48"
+SWEEP_ARGS = [
+    "scalebench",
+    "--scales", "512", "1024",
+    "--x-values", "0", "25", "50", "75", "100",
+    "--distributions", "exponential",
+    "--repeats", "1",
+]
+PARAMS = {
+    "scales": [512, 1024],
+    "x_values": [0.0, 25.0, 50.0, 75.0, 100.0],
+    "distributions": ["exponential"],
+    "repeats": 1,
+    "node_classes": NODE_CLASSES,
+}
+
+_DIGEST_RE = re.compile(r"result digest: ([0-9a-f]+)")
+_LISTEN_RE = re.compile(r"repro service listening on ([\d.]+):(\d+)")
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    return env
+
+
+def run_cli(extra: list[str]) -> str:
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", *SWEEP_ARGS, *extra],
+        env=_env(), cwd=str(REPO), check=True,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    ).stdout
+    return out
+
+
+def digest_of(text: str) -> str:
+    match = _DIGEST_RE.search(text)
+    if not match:
+        raise SystemExit(f"FAIL: no 'result digest:' line in output:\n{text}")
+    return match.group(1)
+
+
+def start_server(state_dir: Path):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--state", str(state_dir), "--max-active", "1"],
+        env=_env(), cwd=str(REPO),
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(f"server died during startup ({proc.poll()})")
+        match = _LISTEN_RE.search(line)
+        if match:
+            return proc, int(match.group(2))
+    proc.kill()
+    raise RuntimeError("server never printed its listen line")
+
+
+def service_result(port: int) -> dict:
+    from repro.service.client import ServiceClient
+
+    last: OSError | None = None
+    for _ in range(50):
+        try:
+            client = ServiceClient("127.0.0.1", port, timeout_s=600)
+            break
+        except OSError as exc:
+            last = exc
+            time.sleep(0.1)
+    else:
+        raise RuntimeError(f"could not connect to :{port}: {last}")
+    try:
+        job_id = client.submit("scalebench", PARAMS, tenant="hetero-smoke")
+        reply = client.result(job_id, timeout_s=600)
+    finally:
+        client.close()
+    if reply["state"] != "done" or reply["result"]["exit_code"] != 0:
+        raise SystemExit(f"FAIL: service job did not finish cleanly: {reply}")
+    return reply["result"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workdir", type=Path, default=Path("hetero-smoke"))
+    args = parser.parse_args()
+    args.workdir.mkdir(parents=True, exist_ok=True)
+
+    print(f"hetero-smoke: CLI sweep with --node-classes {NODE_CLASSES}",
+          flush=True)
+    hetero_out = run_cli(["--node-classes", NODE_CLASSES])
+    if "U-curve under heterogeneity" not in hetero_out:
+        raise SystemExit("FAIL: hetero CLI report lacks the U-curve section")
+    hetero_digest = digest_of(hetero_out)
+    print(f"hetero-smoke: CLI digest {hetero_digest[:16]}…", flush=True)
+
+    plain_out = run_cli([])
+    if "U-curve under heterogeneity" in plain_out:
+        raise SystemExit("FAIL: homogeneous report grew a hetero section")
+    if digest_of(plain_out) == hetero_digest:
+        raise SystemExit("FAIL: hetero and homogeneous digests collide")
+    print("hetero-smoke: homogeneous report untouched", flush=True)
+
+    proc, port = start_server(args.workdir / "state")
+    print(f"hetero-smoke: server up on :{port} (pid {proc.pid})", flush=True)
+    try:
+        result = service_result(port)
+    finally:
+        proc.kill()
+        proc.wait()
+    if "U-curve under heterogeneity" not in result["text"]:
+        raise SystemExit("FAIL: service report lacks the U-curve section")
+    if result["digest"] != hetero_digest:
+        raise SystemExit(
+            "FAIL: service digest diverged from the CLI: "
+            f"{result['digest']} != {hetero_digest}"
+        )
+    print(f"hetero-smoke: service digest matches CLI ({hetero_digest[:16]}…)",
+          flush=True)
+    print("hetero-smoke: OK", flush=True)
+
+
+if __name__ == "__main__":
+    main()
